@@ -1,0 +1,150 @@
+// Command chats-experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	chats-experiments                 # everything at medium size
+//	chats-experiments -fig 4 -size small
+//	chats-experiments -fig 1,4,7 -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"chats/internal/experiments"
+	"chats/internal/machine"
+	"chats/internal/stats"
+	"chats/internal/workloads"
+)
+
+func main() {
+	var (
+		figs    = flag.String("fig", "all", "comma-separated figure list (1,4,5,6,7,8,9,10,11) or 'all'")
+		size    = flag.String("size", "medium", "workload size: tiny, small, medium")
+		seed    = flag.Uint64("seed", 1, "simulation seed")
+		seeds   = flag.Int("seeds", 1, "seeds to average each cell over")
+		verbose = flag.Bool("v", false, "print a line per simulation")
+		csvDir  = flag.String("csv", "", "also write each table as CSV into this directory")
+	)
+	flag.Parse()
+
+	sz, err := workloads.ParseSize(*size)
+	if err != nil {
+		fatal(err)
+	}
+	p := experiments.Params{Size: sz, Machine: machine.DefaultConfig(), Seeds: *seeds}
+	p.Machine.Seed = *seed
+	if *verbose {
+		p.Verbose = os.Stderr
+	}
+	suite := experiments.NewSuite(p)
+
+	want := map[string]bool{}
+	if *figs == "all" {
+		for _, f := range []string{"1", "4", "5", "6", "7", "8", "9", "10", "11"} {
+			want[f] = true
+		}
+	} else {
+		for _, f := range strings.Split(*figs, ",") {
+			want[strings.TrimSpace(f)] = true
+		}
+	}
+
+	experiments.PrintTableI(os.Stdout, p.Machine)
+	if err := experiments.PrintTableII(os.Stdout); err != nil {
+		fatal(err)
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+	writeCSV := func(t *stats.Table) {
+		if *csvDir == "" {
+			return
+		}
+		name := slug(t.Title) + ".csv"
+		f, err := os.Create(filepath.Join(*csvDir, name))
+		if err != nil {
+			fatal(err)
+		}
+		if err := t.WriteCSV(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	show := func(t *stats.Table, err error) {
+		if err != nil {
+			fatal(err)
+		}
+		t.Fprint(os.Stdout)
+		writeCSV(t)
+	}
+	showAll := func(ts []*stats.Table, err error) {
+		if err != nil {
+			fatal(err)
+		}
+		for _, t := range ts {
+			t.Fprint(os.Stdout)
+			writeCSV(t)
+		}
+	}
+
+	// Order matters for cache reuse: Fig4 populates the main matrix used
+	// by Figs 1, 5, 6 and 7.
+	if want["4"] {
+		show(suite.Fig4())
+	}
+	if want["1"] {
+		show(suite.Fig1())
+	}
+	if want["5"] {
+		showAll(suite.Fig5())
+	}
+	if want["6"] {
+		showAll(suite.Fig6())
+	}
+	if want["7"] {
+		show(suite.Fig7())
+	}
+	if want["8"] {
+		show(suite.Fig8())
+	}
+	if want["9"] {
+		showAll(suite.Fig9(nil))
+	}
+	if want["10"] {
+		showAll(suite.Fig10())
+	}
+	if want["11"] {
+		show(suite.Fig11())
+	}
+	fmt.Fprintf(os.Stderr, "total simulations: %d\n", suite.Runs)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "chats-experiments:", err)
+	os.Exit(1)
+}
+
+// slug converts a table title into a safe file name.
+func slug(title string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(title) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		case r == ' ', r == ':', r == '/', r == '.':
+			if n := b.Len(); n > 0 && b.String()[n-1] != '-' {
+				b.WriteByte('-')
+			}
+		}
+	}
+	return strings.Trim(b.String(), "-")
+}

@@ -1,0 +1,147 @@
+// Command chatsim runs one benchmark on one HTM system and prints the
+// collected statistics.
+//
+// Usage:
+//
+//	chatsim -system chats -bench kmeans-h -size medium
+//	chatsim -dump-config     # Table I
+//	chatsim -dump-systems    # Table II
+//	chatsim -list            # available benchmarks and systems
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"chats"
+	"chats/internal/experiments"
+	"chats/internal/htm"
+	"chats/internal/workloads"
+)
+
+func main() {
+	var (
+		system      = flag.String("system", "chats", "HTM system: "+strings.Join(systemNames(), ", "))
+		bench       = flag.String("bench", "kmeans-h", "benchmark: "+strings.Join(workloads.Names(), ", "))
+		size        = flag.String("size", "small", "workload size: tiny, small, medium")
+		seed        = flag.Uint64("seed", 1, "simulation seed")
+		cores       = flag.Int("cores", 16, "number of cores/threads")
+		retries     = flag.Int("retries", -1, "override retry budget (-1 = Table II default)")
+		vsb         = flag.Int("vsb", -1, "override VSB size (-1 = default)")
+		valInterval = flag.Int("validation", -1, "override validation interval (-1 = default)")
+		trace       = flag.Bool("trace", false, "print a per-event transactional trace to stderr")
+		jsonOut     = flag.Bool("json", false, "print statistics as JSON")
+		dumpConfig  = flag.Bool("dump-config", false, "print Table I and exit")
+		dumpSystems = flag.Bool("dump-systems", false, "print Table II and exit")
+		list        = flag.Bool("list", false, "list benchmarks and systems and exit")
+	)
+	flag.Parse()
+
+	cfg := chats.DefaultConfig()
+	cfg.Machine.Seed = *seed
+	cfg.Machine.Cores = *cores
+
+	if *dumpConfig {
+		experiments.PrintTableI(os.Stdout, cfg.Machine)
+		return
+	}
+	if *dumpSystems {
+		if err := experiments.PrintTableII(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *list {
+		fmt.Println("benchmarks:", strings.Join(workloads.Names(), " "))
+		fmt.Println("systems:   ", strings.Join(systemNames(), " "))
+		return
+	}
+
+	k, err := chats.ParseSystem(*system)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.System = k
+	if *retries >= 0 || *vsb >= 0 || *valInterval >= 0 {
+		t, err := chats.SystemTraits(k)
+		if err != nil {
+			fatal(err)
+		}
+		if *retries >= 0 {
+			t.Retries = *retries
+		}
+		if *vsb >= 0 {
+			t.VSBSize = *vsb
+		}
+		if *valInterval >= 0 {
+			t.ValidationInterval = uint64(*valInterval)
+		}
+		cfg.Traits = &t
+	}
+
+	sz, err := workloads.ParseSize(*size)
+	if err != nil {
+		fatal(err)
+	}
+	w, err := workloads.New(*bench, sz)
+	if err != nil {
+		fatal(err)
+	}
+
+	var st chats.Stats
+	if *trace {
+		st, err = chats.RunTraced(cfg, w, os.Stderr)
+	} else {
+		st, err = chats.Run(cfg, w)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(st); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	printStats(st)
+}
+
+func systemNames() []string {
+	var ns []string
+	for _, k := range chats.Systems() {
+		ns = append(ns, string(k))
+	}
+	return ns
+}
+
+func printStats(st chats.Stats) {
+	fmt.Printf("system      %s\n", st.System)
+	fmt.Printf("workload    %s\n", st.Workload)
+	fmt.Printf("cycles      %d\n", st.Cycles)
+	fmt.Printf("commits     %d\n", st.Commits)
+	fmt.Printf("aborts      %d (rate %.3f)\n", st.Aborts, st.AbortRate())
+	for c := 1; c < htm.NumCauses; c++ {
+		if st.ByCause[c] > 0 {
+			fmt.Printf("  %-10s %d\n", htm.AbortCause(c).String(), st.ByCause[c])
+		}
+	}
+	fmt.Printf("fallbacks   %d   power-acqs %d\n", st.Fallbacks, st.PowerAcqs)
+	fmt.Printf("forwarding  sent %d  consumed %d  validations %d  validated %d\n",
+		st.SpecRespsSent, st.SpecRespsConsumed, st.Validations, st.ValidationsOK)
+	fmt.Printf("network     %d messages, %d flits\n", st.Messages, st.Flits)
+	fmt.Printf("L1          %d hits, %d misses\n", st.L1Hits, st.L1Misses)
+	fmt.Printf("fig6        conflicted %d/%d (commit/abort)  forwarders %d/%d  consumers %d/%d\n",
+		st.ConflictedCommitted, st.ConflictedAborted,
+		st.ForwarderCommitted, st.ForwarderAborted,
+		st.ConsumerCommitted, st.ConsumerAborted)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "chatsim:", err)
+	os.Exit(1)
+}

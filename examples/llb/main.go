@@ -1,0 +1,46 @@
+// LLB: the paper's linked-list microbenchmark (Section VI-C) run through
+// the public API — threads traverse a shared sorted list and modify the
+// element they searched for. Traversals read long prefixes of the list,
+// so a writer near the front invalidates many concurrent traversals; the
+// requester-speculates systems forward instead of aborting.
+//
+//	go run ./examples/llb
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"chats"
+	"chats/internal/workloads"
+)
+
+func main() {
+	fmt.Println("llb (low contention): threads mostly modify disjoint key ranges")
+	run("llb-l")
+	fmt.Println("\nllb (high contention): every thread modifies every range")
+	run("llb-h")
+}
+
+func run(name string) {
+	var baseline uint64
+	fmt.Printf("%-16s %10s %8s %8s %12s\n", "system", "cycles", "aborts", "fwd-used", "vs baseline")
+	for _, system := range chats.Systems() {
+		w, err := workloads.New(name, workloads.Small)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := chats.DefaultConfig()
+		cfg.System = system
+		stats, err := chats.Run(cfg, w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if system == chats.Baseline {
+			baseline = stats.Cycles
+		}
+		fmt.Printf("%-16s %10d %8d %8d %11.2fx\n",
+			system, stats.Cycles, stats.Aborts, stats.SpecRespsConsumed,
+			float64(stats.Cycles)/float64(baseline))
+	}
+}

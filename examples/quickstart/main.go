@@ -1,0 +1,67 @@
+// Quickstart: define a tiny transactional workload against the public
+// API and compare the requester-wins baseline with CHATS on it.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"chats"
+)
+
+// counters is a workload where every thread increments a handful of hot
+// shared counters — write-write contention that requester-speculates
+// turns into chains instead of aborts.
+type counters struct {
+	iters int
+	base  chats.Addr
+	n     int
+}
+
+func (c *counters) Name() string { return "quickstart-counters" }
+
+func (c *counters) Setup(w *chats.World, threads int) {
+	c.n = 4
+	c.base = w.Alloc.Lines(c.n) // one counter per cache line
+}
+
+func (c *counters) Thread(ctx chats.Ctx, tid int) {
+	for i := 0; i < c.iters; i++ {
+		slot := c.base + chats.Addr(ctx.Rand().Intn(c.n)*64)
+		ctx.Atomic(func(tx chats.Tx) {
+			v := tx.Load(slot)
+			tx.Store(slot, v+1)
+			tx.Work(60) // some transactional computation after the update
+		})
+		ctx.Work(40) // non-transactional work between operations
+	}
+}
+
+func (c *counters) Check(w *chats.World) error {
+	var sum uint64
+	for i := 0; i < c.n; i++ {
+		sum += w.Mem.ReadWord(c.base + chats.Addr(i*64))
+	}
+	want := uint64(16 * c.iters)
+	if sum != want {
+		return fmt.Errorf("lost updates: %d, want %d", sum, want)
+	}
+	return nil
+}
+
+func main() {
+	for _, system := range []chats.SystemKind{chats.Baseline, chats.CHATS} {
+		cfg := chats.DefaultConfig()
+		cfg.System = system
+		stats, err := chats.Run(cfg, &counters{iters: 40})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-9s %8d cycles  %4d commits  %4d aborts  %4d forwardings used\n",
+			system, stats.Cycles, stats.Commits, stats.Aborts, stats.ValidationsOK)
+	}
+	fmt.Println("\nEvery update survived on both systems (Check verifies the sum);")
+	fmt.Println("CHATS gets there with fewer aborts by chaining the transactions.")
+}

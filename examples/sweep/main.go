@@ -1,0 +1,52 @@
+// Sweep: a parameter-sweep study through the public API — how CHATS
+// reacts to the size of its Validation State Buffer and the validation
+// period (the paper's Fig. 10 sensitivity analysis, on one workload).
+//
+//	go run ./examples/sweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"chats"
+	"chats/internal/workloads"
+)
+
+func main() {
+	vsbSizes := []int{1, 2, 4, 8, 16}
+	intervals := []uint64{50, 100, 200, 400}
+
+	fmt.Println("CHATS on yada: execution cycles by VSB size (rows) and validation interval (cols)")
+	fmt.Printf("%8s", "")
+	for _, iv := range intervals {
+		fmt.Printf("  val=%-6d", iv)
+	}
+	fmt.Println()
+	for _, vsb := range vsbSizes {
+		fmt.Printf("vsb=%-4d", vsb)
+		for _, iv := range intervals {
+			traits, err := chats.SystemTraits(chats.CHATS)
+			if err != nil {
+				log.Fatal(err)
+			}
+			traits.VSBSize = vsb
+			traits.ValidationInterval = iv
+			cfg := chats.DefaultConfig()
+			cfg.System = chats.CHATS
+			cfg.Traits = &traits
+			w, err := workloads.New("yada", workloads.Small)
+			if err != nil {
+				log.Fatal(err)
+			}
+			stats, err := chats.Run(cfg, w)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-10d", stats.Cycles)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nAs in the paper's Fig. 10, a handful of VSB entries captures almost all")
+	fmt.Println("of the benefit: growing the buffer past the knee barely moves execution time.")
+}

@@ -1,0 +1,3 @@
+module chats
+
+go 1.22

@@ -1,0 +1,385 @@
+package coherence
+
+import (
+	"fmt"
+
+	"chats/internal/mem"
+	"chats/internal/network"
+	"chats/internal/sim"
+)
+
+// Config holds the directory/memory timing parameters (Table I).
+type Config struct {
+	// LLCLatency is the shared-LLC/directory access latency charged on
+	// every request that reaches the directory.
+	LLCLatency uint64
+	// DRAMLatency is charged the first time a line is touched (cold miss
+	// filled from main memory).
+	DRAMLatency uint64
+}
+
+// Stats counts directory activity.
+type Stats struct {
+	GetS        uint64
+	GetX        uint64
+	Forwards    uint64 // probes sent to exclusive owners
+	Invs        uint64 // invalidation probes sent to sharers
+	SpecCancels uint64 // requests cancelled by a speculative forwarding
+	Nacks       uint64 // requests nacked by their responder
+	Writebacks  uint64
+	DRAMFills   uint64
+}
+
+type dirState uint8
+
+const (
+	dirI dirState = iota
+	dirS
+	dirE // exclusive at owner (cache side may be E or M)
+)
+
+type dirLine struct {
+	state   dirState
+	owner   int
+	sharers uint64 // bitset
+	busy    bool
+	queue   []func()
+	inLLC   bool
+}
+
+// Directory is the home node for every line: MESI state, the LLC/memory
+// data image, and the blocking request queue per line.
+type Directory struct {
+	eng    *sim.Engine
+	net    *network.Network
+	memory *mem.Memory
+	cores  []Core
+	cfg    Config
+	lines  map[mem.Addr]*dirLine
+	Stats  Stats
+}
+
+// NewDirectory builds the home node. cores may be populated later via
+// AttachCores (the machine wires cores and directory together).
+func NewDirectory(eng *sim.Engine, net *network.Network, memory *mem.Memory, cfg Config) *Directory {
+	return &Directory{
+		eng:    eng,
+		net:    net,
+		memory: memory,
+		cfg:    cfg,
+		lines:  make(map[mem.Addr]*dirLine),
+	}
+}
+
+// AttachCores registers the core controllers the directory can probe.
+func (d *Directory) AttachCores(cores []Core) { d.cores = cores }
+
+func (d *Directory) line(a mem.Addr) *dirLine {
+	a = a.Line()
+	l, ok := d.lines[a]
+	if !ok {
+		l = &dirLine{state: dirI, owner: -1}
+		d.lines[a] = l
+	}
+	return l
+}
+
+// accessLatency charges LLC latency plus a DRAM fill on first touch.
+func (d *Directory) accessLatency(l *dirLine) uint64 {
+	lat := d.cfg.LLCLatency
+	if !l.inLLC {
+		l.inLLC = true
+		lat += d.cfg.DRAMLatency
+		d.Stats.DRAMFills++
+	}
+	return lat
+}
+
+func (d *Directory) unblock(l *dirLine) {
+	if !l.busy {
+		panic("coherence: unblock on non-busy line")
+	}
+	l.busy = false
+	if len(l.queue) > 0 {
+		next := l.queue[0]
+		l.queue = l.queue[1:]
+		d.eng.Schedule(0, next)
+	}
+}
+
+// Unblock is sent by a requester once it has installed a data response;
+// it lets the directory start the next queued request for the line.
+// (The call is already network-delayed by the requester.)
+func (d *Directory) Unblock(line mem.Addr) {
+	d.unblock(d.line(line))
+}
+
+func bit(i int) uint64 { return 1 << uint(i) }
+
+// GetS handles a read request from core req.ID. resp is invoked at the
+// requester (network-delayed) with the outcome. On RespData the requester
+// must send Unblock after installing the line; RespSpec and RespNack need
+// no unblock.
+func (d *Directory) GetS(lineAddr mem.Addr, req ReqInfo, resp func(Resp)) {
+	lineAddr = lineAddr.Line()
+	l := d.line(lineAddr)
+	if l.busy {
+		l.queue = append(l.queue, func() { d.GetS(lineAddr, req, resp) })
+		return
+	}
+	d.Stats.GetS++
+	l.busy = true
+	lat := d.accessLatency(l)
+
+	switch {
+	case l.state == dirI, l.state == dirE && l.owner == req.ID:
+		// Cold line, or the owner silently dropped its copy and is
+		// re-requesting: serve memory, grant exclusive.
+		d.eng.Schedule(lat, func() {
+			data := d.memory.ReadLine(lineAddr)
+			l.state = dirE
+			l.owner = req.ID
+			l.sharers = 0
+			d.net.SendData(func() { resp(Resp{Kind: RespData, Data: data, Excl: true}) })
+		})
+	case l.state == dirS:
+		d.eng.Schedule(lat, func() {
+			data := d.memory.ReadLine(lineAddr)
+			l.sharers |= bit(req.ID)
+			d.net.SendData(func() { resp(Resp{Kind: RespData, Data: data, Excl: false}) })
+		})
+	case l.state == dirE:
+		owner := l.owner
+		d.Stats.Forwards++
+		d.eng.Schedule(lat, func() {
+			p := Probe{Line: lineAddr, Kind: FwdGetS, Req: req}
+			p.ReplyData = func(data mem.Line) {
+				// Owner keeps a Shared copy; data to requester and to memory.
+				d.net.SendData(func() { resp(Resp{Kind: RespData, Data: data, Excl: false}) })
+				d.net.SendData(func() {
+					d.memory.WriteLine(lineAddr, data)
+					l.state = dirS
+					l.sharers = bit(owner) | bit(req.ID)
+					l.owner = -1
+					// requester's Unblock releases the line
+				})
+			}
+			p.ReplyNoData = func() {
+				d.net.SendControl(func() {
+					data := d.memory.ReadLine(lineAddr)
+					l.state = dirE
+					l.owner = req.ID
+					l.sharers = 0
+					d.net.SendData(func() { resp(Resp{Kind: RespData, Data: data, Excl: true}) })
+				})
+			}
+			p.ReplySpec = func(data mem.Line, pic PiC) {
+				d.Stats.SpecCancels++
+				d.net.SendData(func() { resp(Resp{Kind: RespSpec, Data: data, PiC: pic}) })
+				d.net.SendControl(func() { d.unblock(l) }) // cancel at directory
+			}
+			p.ReplyNack = func() {
+				d.Stats.Nacks++
+				d.net.SendControl(func() { resp(Resp{Kind: RespNack}) })
+				d.net.SendControl(func() { d.unblock(l) })
+			}
+			d.net.SendControl(func() { d.cores[owner].HandleProbe(p) })
+		})
+	}
+}
+
+// GetX handles a write (or upgrade) request from core req.ID.
+func (d *Directory) GetX(lineAddr mem.Addr, req ReqInfo, resp func(Resp)) {
+	lineAddr = lineAddr.Line()
+	l := d.line(lineAddr)
+	if l.busy {
+		l.queue = append(l.queue, func() { d.GetX(lineAddr, req, resp) })
+		return
+	}
+	d.Stats.GetX++
+	l.busy = true
+	lat := d.accessLatency(l)
+
+	switch {
+	case l.state == dirI, l.state == dirE && l.owner == req.ID,
+		l.state == dirS && l.sharers&^bit(req.ID) == 0:
+		// Free line, silent-drop re-request, or upgrade with no other
+		// sharer: grant from memory.
+		d.eng.Schedule(lat, func() {
+			data := d.memory.ReadLine(lineAddr)
+			l.state = dirE
+			l.owner = req.ID
+			l.sharers = 0
+			d.net.SendData(func() { resp(Resp{Kind: RespData, Data: data, Excl: true}) })
+		})
+	case l.state == dirE:
+		owner := l.owner
+		d.Stats.Forwards++
+		d.eng.Schedule(lat, func() {
+			p := Probe{Line: lineAddr, Kind: FwdGetX, Req: req}
+			p.ReplyData = func(data mem.Line) {
+				// Ownership moves; memory refreshed so the (possibly
+				// transactional) new owner can be silently invalidated.
+				d.net.SendData(func() { resp(Resp{Kind: RespData, Data: data, Excl: true}) })
+				d.net.SendData(func() {
+					d.memory.WriteLine(lineAddr, data)
+					l.state = dirE
+					l.owner = req.ID
+					l.sharers = 0
+				})
+			}
+			p.ReplyNoData = func() {
+				d.net.SendControl(func() {
+					data := d.memory.ReadLine(lineAddr)
+					l.state = dirE
+					l.owner = req.ID
+					l.sharers = 0
+					d.net.SendData(func() { resp(Resp{Kind: RespData, Data: data, Excl: true}) })
+				})
+			}
+			p.ReplySpec = func(data mem.Line, pic PiC) {
+				d.Stats.SpecCancels++
+				d.net.SendData(func() { resp(Resp{Kind: RespSpec, Data: data, PiC: pic}) })
+				d.net.SendControl(func() { d.unblock(l) })
+			}
+			p.ReplyNack = func() {
+				d.Stats.Nacks++
+				d.net.SendControl(func() { resp(Resp{Kind: RespNack}) })
+				d.net.SendControl(func() { d.unblock(l) })
+			}
+			d.net.SendControl(func() { d.cores[owner].HandleProbe(p) })
+		})
+	case l.state == dirS:
+		d.eng.Schedule(lat, func() { d.collectInvs(lineAddr, l, req, resp) })
+	}
+}
+
+// collectInvs sends invalidation probes to every sharer except the
+// requester and aggregates the outcome: all invalidated → exclusive
+// grant; any refusal (speculative forwarding by a reader) → SpecResp with
+// the committed data and the minimum producer PiC; any nack → RespNack.
+func (d *Directory) collectInvs(lineAddr mem.Addr, l *dirLine, req ReqInfo, resp func(Resp)) {
+	targets := []int{}
+	for i := range d.cores {
+		if l.sharers&bit(i) != 0 && i != req.ID {
+			targets = append(targets, i)
+		}
+	}
+	if len(targets) == 0 {
+		panic("coherence: collectInvs with no targets")
+	}
+	pending := len(targets)
+	refused := false
+	nacked := false
+	minPiC := PiC(127)
+	done := func() {
+		pending--
+		if pending > 0 {
+			return
+		}
+		switch {
+		case nacked:
+			d.Stats.Nacks++
+			d.net.SendControl(func() { resp(Resp{Kind: RespNack}) })
+			d.unblock(l)
+		case refused:
+			d.Stats.SpecCancels++
+			data := d.memory.ReadLine(lineAddr)
+			d.net.SendData(func() { resp(Resp{Kind: RespSpec, Data: data, PiC: minPiC}) })
+			d.unblock(l)
+		default:
+			data := d.memory.ReadLine(lineAddr)
+			l.state = dirE
+			l.owner = req.ID
+			l.sharers = 0
+			d.net.SendData(func() { resp(Resp{Kind: RespData, Data: data, Excl: true}) })
+			// requester's Unblock releases the line
+		}
+	}
+	for _, t := range targets {
+		t := t
+		d.Stats.Invs++
+		p := Probe{Line: lineAddr, Kind: InvProbe, Req: req}
+		p.ReplyData = func(mem.Line) { // invalidated (clean sharer)
+			d.net.SendControl(func() {
+				l.sharers &^= bit(t)
+				done()
+			})
+		}
+		p.ReplyNoData = func() { p.ReplyData(mem.Line{}) } // already silently dropped
+		p.ReplySpec = func(_ mem.Line, pic PiC) {
+			d.net.SendControl(func() {
+				refused = true
+				if pic < minPiC {
+					minPiC = pic
+				}
+				done()
+			})
+		}
+		p.ReplyNack = func() {
+			d.net.SendControl(func() {
+				nacked = true
+				done()
+			})
+		}
+		d.net.SendControl(func() { d.cores[t].HandleProbe(p) })
+	}
+}
+
+// WriteBack delivers an evicted dirty line to memory. cancelled lets the
+// evicting core withdraw a writeback that was superseded by a forwarded
+// probe served from its writeback buffer.
+func (d *Directory) WriteBack(lineAddr mem.Addr, data mem.Line, sender int, cancelled *bool) {
+	lineAddr = lineAddr.Line()
+	if cancelled != nil && *cancelled {
+		return
+	}
+	l := d.line(lineAddr)
+	d.Stats.Writebacks++
+	d.memory.WriteLine(lineAddr, data)
+	if !l.busy && l.state == dirE && l.owner == sender {
+		l.state = dirI
+		l.owner = -1
+	}
+	// If busy, an in-flight flow will establish the next state.
+}
+
+// WriteBackData refreshes the memory image with the committed value of a
+// line whose ownership the sender keeps — the pre-speculative-write
+// writeback of lazy versioning (Section VI-B: "non-speculative values
+// are written back to L2 before a block in L1 is speculatively
+// modified"). Coherence state is untouched.
+func (d *Directory) WriteBackData(lineAddr mem.Addr, data mem.Line) {
+	d.Stats.Writebacks++
+	d.memory.WriteLine(lineAddr, data)
+}
+
+// DropSharer records that core id silently discarded a Shared copy. The
+// baseline protocol does not require this message (sharer lists may be
+// stale); it exists for tests that want exact sharer tracking.
+func (d *Directory) DropSharer(lineAddr mem.Addr, id int) {
+	l := d.line(lineAddr)
+	if l.state == dirS {
+		l.sharers &^= bit(id)
+	}
+}
+
+// snapshot helpers for tests.
+
+// StateOf reports the directory state of a line as a string, the owner,
+// and the sharer bitset.
+func (d *Directory) StateOf(lineAddr mem.Addr) (string, int, uint64) {
+	l := d.line(lineAddr)
+	switch l.state {
+	case dirI:
+		return "I", -1, 0
+	case dirS:
+		return "S", -1, l.sharers
+	case dirE:
+		return "E", l.owner, 0
+	}
+	panic(fmt.Sprintf("bad dir state %d", l.state))
+}
+
+// Busy reports whether the line has a request in flight.
+func (d *Directory) Busy(lineAddr mem.Addr) bool { return d.line(lineAddr).busy }

@@ -1,0 +1,253 @@
+package core
+
+import (
+	"testing"
+
+	"chats/internal/coherence"
+	"chats/internal/htm"
+	"chats/internal/sim"
+)
+
+// modelWorld drives the CHATS decision functions against an exact
+// dependency-graph oracle. The oracle tracks every accepted forwarding as
+// an edge consumer→producer ("must commit after") and asserts the graph
+// stays acyclic — the paper's central correctness claim for the PiC
+// mechanism when decisions see up-to-date PiCs (races are resolved by the
+// validation-time abort, exercised in the machine tests).
+type modelWorld struct {
+	t      *testing.T
+	policy htm.Policy
+	txs    []*htm.TxState
+	// deps[i] = set of producers transaction i consumed from (uncommitted).
+	deps []map[int]bool
+	// consumers[j] = set of consumers of j's data.
+	consumers []map[int]bool
+	attempts  []int
+}
+
+func newModelWorld(t *testing.T, policy htm.Policy, n int) *modelWorld {
+	w := &modelWorld{t: t, policy: policy}
+	for i := 0; i < n; i++ {
+		tx := htm.NewTxState(64) // large VSB: capacity is not under test
+		tx.Begin(1, 16)
+		tx.TS = uint64(i)
+		w.txs = append(w.txs, tx)
+		w.deps = append(w.deps, map[int]bool{})
+		w.consumers = append(w.consumers, map[int]bool{})
+		w.attempts = append(w.attempts, 1)
+	}
+	return w
+}
+
+// reset aborts or commits transaction i and starts its next attempt.
+func (w *modelWorld) reset(i int) {
+	for p := range w.deps[i] {
+		delete(w.consumers[p], i)
+	}
+	w.deps[i] = map[int]bool{}
+	for c := range w.consumers[i] {
+		delete(w.deps[c], i)
+	}
+	w.consumers[i] = map[int]bool{}
+	w.attempts[i]++
+	w.txs[i].MarkAborted(htm.CauseConflict)
+	w.txs[i].Finish()
+	w.txs[i].Begin(w.attempts[i], 16)
+	w.txs[i].TS = uint64(len(w.txs)*w.attempts[i] + i)
+}
+
+// abortCascade aborts i and, transitively, everyone that consumed from it
+// (what validation mismatches do in the real system).
+func (w *modelWorld) abortCascade(i int) {
+	victims := []int{i}
+	seen := map[int]bool{i: true}
+	for len(victims) > 0 {
+		v := victims[0]
+		victims = victims[1:]
+		for c := range w.consumers[v] {
+			if !seen[c] {
+				seen[c] = true
+				victims = append(victims, c)
+			}
+		}
+		w.reset(v)
+	}
+}
+
+// commit commits producer j if it has no unvalidated inputs; its
+// consumers' dependencies on it resolve (successful validation), and
+// their Cons bit clears when their last producer commits.
+func (w *modelWorld) commit(j int) bool {
+	if len(w.deps[j]) != 0 {
+		return false // must wait for its own producers
+	}
+	for c := range w.consumers[j] {
+		delete(w.deps[c], j)
+		delete(w.consumers[j], c)
+		if len(w.deps[c]) == 0 {
+			w.txs[c].Cons = false // VSB drained
+		}
+	}
+	w.txs[j].Finish()
+	w.attempts[j] = 1
+	w.txs[j].Begin(1, 16)
+	w.txs[j].TS = w.txs[j].TS + uint64(len(w.txs))
+	return true
+}
+
+// conflict models consumer i requesting a line owned by producer j.
+func (w *modelWorld) conflict(i, j int) {
+	pc := htm.ProbeContext{
+		Kind:        coherence.FwdGetX,
+		Req:         coherence.ReqInfo{ID: i, IsTx: true, PiC: w.txs[i].PiC, TS: w.txs[i].TS},
+		InWriteSet:  true,
+		Forwardable: true,
+	}
+	dec, pic := w.policy.DecideProbe(w.txs[j], pc)
+	switch dec {
+	case htm.DecideAbort:
+		w.abortCascade(j)
+	case htm.DecideNack:
+		// requester retries later; nothing changes
+	case htm.DecideSpec:
+		out := w.policy.AcceptSpec(w.txs[i], pic)
+		switch {
+		case out.Cause != htm.CauseNone:
+			w.abortCascade(i)
+		case out.Retry:
+			// dropped
+		case out.Accept:
+			w.txs[j].Forwarded = true
+			w.txs[j].ForwardedTo++
+			w.deps[i][j] = true
+			w.consumers[j][i] = true
+		}
+	}
+}
+
+// acyclic verifies the dependency graph has no cycle.
+func (w *modelWorld) acyclic() bool {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int, len(w.txs))
+	var visit func(int) bool
+	visit = func(v int) bool {
+		color[v] = gray
+		for p := range w.deps[v] {
+			if color[p] == gray {
+				return false
+			}
+			if color[p] == white && !visit(p) {
+				return false
+			}
+		}
+		color[v] = black
+		return true
+	}
+	for v := range w.txs {
+		if color[v] == white && !visit(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// picConsistent checks the structural invariant the paper states: a
+// producer's PiC is strictly greater than the PiC of every transaction
+// that consumed from it.
+func (w *modelWorld) picConsistent() bool {
+	for c := range w.txs {
+		for p := range w.deps[c] {
+			pp, cp := w.txs[p].PiC, w.txs[c].PiC
+			if pp == coherence.PiCPower {
+				continue
+			}
+			if !pp.Valid() || !cp.Valid() || pp <= cp {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func runModel(t *testing.T, policy htm.Policy, seed uint64, steps, n int) {
+	w := newModelWorld(t, policy, n)
+	r := sim.NewRand(seed)
+	for s := 0; s < steps; s++ {
+		switch r.Intn(10) {
+		case 0: // occasional commit attempt
+			w.commit(r.Intn(n))
+		case 1: // occasional spontaneous abort (capacity etc.)
+			w.abortCascade(r.Intn(n))
+		default:
+			i := r.Intn(n)
+			j := r.Intn(n)
+			if i != j {
+				w.conflict(i, j)
+			}
+		}
+		if !w.acyclic() {
+			t.Fatalf("seed %d step %d: dependency cycle created", seed, s)
+		}
+		if _, isChats := policy.(*CHATS); isChats && !w.picConsistent() {
+			t.Fatalf("seed %d step %d: producer PiC not above consumer PiC", seed, s)
+		}
+		for i, tx := range w.txs {
+			if tx.PiC != coherence.PiCNone && !tx.PiC.Valid() && tx.PiC != coherence.PiCPower {
+				t.Fatalf("seed %d step %d: tx %d PiC out of range: %d", seed, s, i, tx.PiC)
+			}
+		}
+	}
+}
+
+func TestCHATSNeverCreatesCycles(t *testing.T) {
+	for seed := uint64(1); seed <= 30; seed++ {
+		runModel(t, NewCHATS(), seed, 3000, 8)
+	}
+}
+
+func TestCHATSManyTransactions(t *testing.T) {
+	runModel(t, NewCHATS(), 99, 20000, 16)
+}
+
+func TestLEVCNeverCreatesCycles(t *testing.T) {
+	// LEVC's chain-length-1 restriction also keeps the graph acyclic
+	// (a consumer never forwards), even without PiCs.
+	for seed := uint64(1); seed <= 10; seed++ {
+		runModel(t, NewLEVCIdeal(), seed, 3000, 8)
+	}
+}
+
+// The naive design does create cycles — that is the whole point of
+// Fig. 1. This test documents the failure mode the escape counter exists
+// for: with naive forwarding, mutual producer/consumer pairs arise.
+func TestNaiveDoesCreateCycles(t *testing.T) {
+	policy := NewNaiveRS()
+	w := newModelWorld(t, policy, 2)
+	w.conflict(0, 1) // 0 consumes from 1 on line A
+	w.conflict(1, 0) // 1 consumes from 0 on line B: cycle
+	if w.acyclic() {
+		t.Fatal("expected the naive policy to allow a cycle")
+	}
+}
+
+// CHATS refuses exactly that scenario: after 0 consumes from 1, a
+// conflicting request from 1 makes 0's producer-side rules abort rather
+// than forward (0 cannot raise its PiC past its own producer).
+func TestCHATSRefusesMutualForwarding(t *testing.T) {
+	w := newModelWorld(t, NewCHATS(), 2)
+	w.conflict(0, 1)
+	if len(w.deps[0]) != 1 {
+		t.Fatal("setup: first forwarding should succeed")
+	}
+	w.conflict(1, 0)
+	if !w.acyclic() {
+		t.Fatal("CHATS created a cycle")
+	}
+	if len(w.deps[1]) != 0 {
+		t.Fatal("reverse edge should not exist")
+	}
+}

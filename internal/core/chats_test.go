@@ -1,0 +1,397 @@
+package core
+
+import (
+	"testing"
+
+	"chats/internal/coherence"
+	"chats/internal/htm"
+)
+
+func activeTx(t *testing.T) *htm.TxState {
+	t.Helper()
+	tx := htm.NewTxState(4)
+	tx.Begin(1, 16)
+	return tx
+}
+
+func wsProbe(reqPiC coherence.PiC) htm.ProbeContext {
+	return htm.ProbeContext{
+		Kind:        coherence.FwdGetX,
+		Req:         coherence.ReqInfo{ID: 1, IsTx: true, PiC: reqPiC},
+		InWriteSet:  true,
+		Forwardable: true,
+	}
+}
+
+func TestChatsBothUnchained(t *testing.T) {
+	c := NewCHATS()
+	local := activeTx(t)
+	dec, pic := c.DecideProbe(local, wsProbe(coherence.PiCNone))
+	if dec != htm.DecideSpec {
+		t.Fatalf("decision = %v", dec)
+	}
+	if local.PiC != coherence.PiCInit || pic != coherence.PiCInit {
+		t.Fatalf("producer PiC = %d, sent = %d, want %d", local.PiC, pic, coherence.PiCInit)
+	}
+	// Consumer side (Fig. 3A): requester lands one below.
+	remote := activeTx(t)
+	out := c.AcceptSpec(remote, pic)
+	if !out.Accept || remote.PiC != coherence.PiCInit-1 || !remote.Cons {
+		t.Fatalf("consumer out=%+v PiC=%d Cons=%v", out, remote.PiC, remote.Cons)
+	}
+}
+
+func TestChatsUnchainedProducerJoinsAbove(t *testing.T) {
+	// Fig. 3C: local unchained, requester chained at 10 -> local takes 11.
+	c := NewCHATS()
+	local := activeTx(t)
+	dec, pic := c.DecideProbe(local, wsProbe(10))
+	if dec != htm.DecideSpec || local.PiC != 11 || pic != 11 {
+		t.Fatalf("dec=%v local=%d sent=%d", dec, local.PiC, pic)
+	}
+}
+
+func TestChatsChainedProducerUnchainedRequester(t *testing.T) {
+	// Fig. 3B: local chained at 20, requester unchained -> forward with 20.
+	c := NewCHATS()
+	local := activeTx(t)
+	local.PiC = 20
+	dec, pic := c.DecideProbe(local, wsProbe(coherence.PiCNone))
+	if dec != htm.DecideSpec || pic != 20 || local.PiC != 20 {
+		t.Fatalf("dec=%v sent=%d local=%d", dec, pic, local.PiC)
+	}
+	remote := activeTx(t)
+	out := c.AcceptSpec(remote, pic)
+	if !out.Accept || remote.PiC != 19 {
+		t.Fatalf("consumer PiC = %d", remote.PiC)
+	}
+}
+
+func TestChatsUnderflowGuard(t *testing.T) {
+	// Producer at PiC 0 cannot serve an unchained requester (would need -1).
+	c := NewCHATS()
+	local := activeTx(t)
+	local.PiC = 0
+	dec, _ := c.DecideProbe(local, wsProbe(coherence.PiCNone))
+	if dec != htm.DecideAbort {
+		t.Fatalf("decision = %v, want abort on underflow", dec)
+	}
+}
+
+func TestChatsOverflowGuard(t *testing.T) {
+	c := NewCHATS()
+	local := activeTx(t)
+	dec, _ := c.DecideProbe(local, wsProbe(coherence.PiCMax))
+	if dec != htm.DecideAbort {
+		t.Fatalf("decision = %v, want abort on overflow", dec)
+	}
+	// Same when the local PiC would have to move past PiCMax.
+	local2 := activeTx(t)
+	local2.PiC = 5
+	dec, _ = c.DecideProbe(local2, wsProbe(coherence.PiCMax))
+	if dec != htm.DecideAbort {
+		t.Fatal("overflow with chained local not caught")
+	}
+}
+
+func TestChatsRequesterBelowForwards(t *testing.T) {
+	// remote < local: forward unchanged even while consuming.
+	c := NewCHATS()
+	local := activeTx(t)
+	local.PiC = 20
+	local.Cons = true
+	dec, pic := c.DecideProbe(local, wsProbe(10))
+	if dec != htm.DecideSpec || pic != 20 || local.PiC != 20 {
+		t.Fatalf("dec=%v pic=%d", dec, pic)
+	}
+}
+
+func TestChatsConsBlocksRaisingPiC(t *testing.T) {
+	// Fig. 3D/E: remote >= local while local has unvalidated inputs.
+	c := NewCHATS()
+	for _, remote := range []coherence.PiC{20, 25} {
+		local := activeTx(t)
+		local.PiC = 20
+		local.Cons = true
+		dec, _ := c.DecideProbe(local, wsProbe(remote))
+		if dec != htm.DecideAbort {
+			t.Fatalf("remote=%d: decision = %v, want abort", remote, dec)
+		}
+	}
+}
+
+func TestChatsFig3FRaisesWhenConsClear(t *testing.T) {
+	// Fig. 3F: validated everything (Cons clear) -> may move above.
+	c := NewCHATS()
+	local := activeTx(t)
+	local.PiC = 10
+	local.Cons = false
+	dec, pic := c.DecideProbe(local, wsProbe(25))
+	if dec != htm.DecideSpec || local.PiC != 26 || pic != 26 {
+		t.Fatalf("dec=%v local=%d", dec, local.PiC)
+	}
+}
+
+func TestChatsConsumerCycleRaceAbortsOnArrival(t *testing.T) {
+	// A SpecResp carrying a PiC at or below ours is a race-created cycle.
+	c := NewCHATS()
+	local := activeTx(t)
+	local.PiC = 15
+	local.Cons = true
+	out := c.AcceptSpec(local, 15)
+	if out.Accept || out.Cause != htm.CauseCycle {
+		t.Fatalf("out = %+v", out)
+	}
+	out = c.AcceptSpec(local, 10)
+	if out.Accept || out.Cause != htm.CauseCycle {
+		t.Fatalf("out = %+v", out)
+	}
+	out = c.AcceptSpec(local, 16)
+	if !out.Accept {
+		t.Fatalf("out = %+v", out)
+	}
+}
+
+func TestChatsValidationCheck(t *testing.T) {
+	c := NewCHATS()
+	local := activeTx(t)
+	local.PiC = 14
+
+	// Mismatch always aborts.
+	if o, cause := c.ValidationCheck(local, true, 20, false); o != htm.ValidationAbort || cause != htm.CauseValidation {
+		t.Fatalf("mismatch: %v %v", o, cause)
+	}
+	// Real permissions + match: done.
+	if o, _ := c.ValidationCheck(local, false, coherence.PiCNone, true); o != htm.ValidationDone {
+		t.Fatal("real match should validate")
+	}
+	// Spec response from above: pending.
+	if o, _ := c.ValidationCheck(local, true, 20, true); o != htm.ValidationPending {
+		t.Fatal("spec from above should stay pending")
+	}
+	// Spec response at or below our PiC: cycle.
+	if o, cause := c.ValidationCheck(local, true, 14, true); o != htm.ValidationAbort || cause != htm.CauseCycle {
+		t.Fatalf("cycle check: %v %v", o, cause)
+	}
+}
+
+func TestChatsForwardModeGating(t *testing.T) {
+	// A read-set conflict on a forwarded probe (the local core holds the
+	// line in E state, so the directory forwarded the request here).
+	readProbe := htm.ProbeContext{
+		Kind:        coherence.FwdGetX,
+		Req:         coherence.ReqInfo{IsTx: true, PiC: coherence.PiCNone},
+		Forwardable: true,
+	}
+	// W mode: read-set conflicts never forward.
+	w := NewCHATSWith(htm.Traits{Retries: 32, VSBSize: 4, ValidationInterval: 50, ForwardMode: htm.ForwardW})
+	if dec, _ := w.DecideProbe(activeTx(t), readProbe); dec != htm.DecideAbort {
+		t.Fatal("W mode forwarded a read block")
+	}
+	// R/W mode: read-set conflicts forward.
+	rw := NewCHATSWith(htm.Traits{Retries: 32, VSBSize: 4, ValidationInterval: 50, ForwardMode: htm.ForwardRW})
+	if dec, _ := rw.DecideProbe(activeTx(t), readProbe); dec != htm.DecideSpec {
+		t.Fatal("R/W mode refused a read block")
+	}
+	// Rrestrict/W: predicted-write read blocks do not forward.
+	rr := NewCHATS()
+	predicted := readProbe
+	predicted.PredictedWrite = true
+	if dec, _ := rr.DecideProbe(activeTx(t), predicted); dec != htm.DecideAbort {
+		t.Fatal("Rrestrict forwarded a predicted-write block")
+	}
+	if dec, _ := rr.DecideProbe(activeTx(t), readProbe); dec != htm.DecideSpec {
+		t.Fatal("Rrestrict refused an unpredicted read block")
+	}
+	// Write-set blocks always eligible.
+	if dec, _ := w.DecideProbe(activeTx(t), wsProbe(coherence.PiCNone)); dec != htm.DecideSpec {
+		t.Fatal("W mode refused a write block")
+	}
+}
+
+func TestBaselineAlwaysAborts(t *testing.T) {
+	b := NewBaseline()
+	if b.Traits().Retries != 6 || b.Traits().UsesVSB {
+		t.Fatalf("traits = %+v", b.Traits())
+	}
+	dec, _ := b.DecideProbe(activeTx(t), wsProbe(10))
+	if dec != htm.DecideAbort {
+		t.Fatal("baseline must requester-win")
+	}
+}
+
+func TestNaiveAlwaysForwards(t *testing.T) {
+	n := NewNaiveRS()
+	local := activeTx(t)
+	dec, pic := n.DecideProbe(local, wsProbe(coherence.PiCNone))
+	if dec != htm.DecideSpec || pic != coherence.PiCNone {
+		t.Fatalf("dec=%v pic=%d", dec, pic)
+	}
+	if local.PiC != coherence.PiCNone {
+		t.Fatal("naive must not touch PiC")
+	}
+}
+
+func TestNaiveCounterEscapesCycles(t *testing.T) {
+	n := NewNaiveRS()
+	local := activeTx(t)
+	local.NaiveCounter = 3
+	for i := 0; i < 2; i++ {
+		o, _ := n.ValidationCheck(local, true, coherence.PiCNone, true)
+		if o != htm.ValidationPending {
+			t.Fatalf("attempt %d: %v", i, o)
+		}
+	}
+	o, cause := n.ValidationCheck(local, true, coherence.PiCNone, true)
+	if o != htm.ValidationAbort || cause != htm.CauseCycle {
+		t.Fatalf("counter exhaustion: %v %v", o, cause)
+	}
+	// Success resets the counter to the full budget.
+	local2 := activeTx(t)
+	local2.NaiveCounter = 1
+	if o, _ := n.ValidationCheck(local2, false, coherence.PiCNone, true); o != htm.ValidationDone {
+		t.Fatal("real match must validate")
+	}
+	if local2.NaiveCounter != n.Traits().NaiveBudget {
+		t.Fatalf("counter not reset: %d", local2.NaiveCounter)
+	}
+}
+
+func TestPowerDecisions(t *testing.T) {
+	p := NewPower()
+	// Power responder nacks.
+	local := activeTx(t)
+	local.Power = true
+	if dec, _ := p.DecideProbe(local, wsProbe(coherence.PiCNone)); dec != htm.DecideNack {
+		t.Fatal("power responder must nack")
+	}
+	// Power requester wins (even against a power responder — cannot
+	// happen with a unique token, but requester priority is the rule).
+	pc := wsProbe(coherence.PiCNone)
+	pc.Req.Power = true
+	if dec, _ := p.DecideProbe(activeTx(t), pc); dec != htm.DecideAbort {
+		t.Fatal("responder must abort for a power requester")
+	}
+	// Neither: baseline requester-wins.
+	if dec, _ := p.DecideProbe(activeTx(t), wsProbe(coherence.PiCNone)); dec != htm.DecideAbort {
+		t.Fatal("plain conflict must requester-win")
+	}
+}
+
+func TestPCHATSPowerProducer(t *testing.T) {
+	p := NewPCHATS()
+	local := activeTx(t)
+	local.Power = true
+	dec, pic := p.DecideProbe(local, wsProbe(coherence.PiCNone))
+	if dec != htm.DecideSpec || pic != coherence.PiCPower {
+		t.Fatalf("dec=%v pic=%d", dec, pic)
+	}
+	// Ineligible block: power nacks instead of aborting itself.
+	read := htm.ProbeContext{Kind: coherence.FwdGetX, Req: coherence.ReqInfo{IsTx: true, PiC: coherence.PiCNone}, PredictedWrite: true, Forwardable: true}
+	if dec, _ := p.DecideProbe(local, read); dec != htm.DecideNack {
+		t.Fatal("power must nack ineligible blocks")
+	}
+	inv := htm.ProbeContext{Kind: coherence.InvProbe, Req: coherence.ReqInfo{IsTx: true, PiC: coherence.PiCNone}, InWriteSet: false}
+	if dec, _ := p.DecideProbe(local, inv); dec != htm.DecideNack {
+		t.Fatal("power must nack invalidations (PowerTM keeps its data)")
+	}
+	// Consumer of power data keeps its PiC.
+	cons := activeTx(t)
+	cons.PiC = 7
+	out := p.AcceptSpec(cons, coherence.PiCPower)
+	if !out.Accept || cons.PiC != 7 || !cons.Cons {
+		t.Fatalf("out=%+v PiC=%d", out, cons.PiC)
+	}
+	// An unchained consumer of power data stays unchained.
+	cons2 := activeTx(t)
+	p.AcceptSpec(cons2, coherence.PiCPower)
+	if cons2.PiC != coherence.PiCNone {
+		t.Fatal("power forwarding must not chain the consumer")
+	}
+	// Power transactions never consume: retry.
+	pw := activeTx(t)
+	pw.Power = true
+	if out := p.AcceptSpec(pw, 10); !out.Retry {
+		t.Fatalf("power consumer outcome = %+v", out)
+	}
+	// Validation of power-forwarded data is exempt from the cycle check.
+	if o, _ := p.ValidationCheck(cons, true, coherence.PiCPower, true); o != htm.ValidationPending {
+		t.Fatal("power spec response should stay pending")
+	}
+}
+
+func TestPCHATSPowerRequesterWins(t *testing.T) {
+	p := NewPCHATS()
+	local := activeTx(t)
+	local.PiC = 20
+	pc := wsProbe(coherence.PiCNone)
+	pc.Req.Power = true
+	if dec, _ := p.DecideProbe(local, pc); dec != htm.DecideAbort {
+		t.Fatal("power requester must win under PCHATS")
+	}
+}
+
+func TestLEVCRestrictions(t *testing.T) {
+	l := NewLEVCIdeal()
+	// Fresh producer forwards a written block.
+	local := activeTx(t)
+	local.TS = 100
+	if dec, _ := l.DecideProbe(local, wsProbe(coherence.PiCNone)); dec != htm.DecideSpec {
+		t.Fatal("fresh producer should forward")
+	}
+	// Single consumer: after one forwarding, no more.
+	local.ForwardedTo = 1
+	pc := wsProbe(coherence.PiCNone)
+	pc.Req.TS = 50 // older requester
+	if dec, _ := l.DecideProbe(local, pc); dec != htm.DecideAbort {
+		t.Fatal("older requester should win when forwarding is exhausted")
+	}
+	pc.Req.TS = 200 // younger requester
+	if dec, _ := l.DecideProbe(local, pc); dec != htm.DecideNack {
+		t.Fatal("younger requester should be nacked")
+	}
+	// Consumers never forward (chain length 1).
+	cons := activeTx(t)
+	cons.TS = 100
+	cons.Cons = true
+	cons.VSB.Add(0x40, [8]uint64{})
+	pc2 := wsProbe(coherence.PiCNone)
+	pc2.Req.TS = 200
+	if dec, _ := l.DecideProbe(cons, pc2); dec != htm.DecideNack {
+		t.Fatal("consumer must not forward")
+	}
+	// Read blocks never forward (W mode).
+	read := htm.ProbeContext{Kind: coherence.FwdGetX, Req: coherence.ReqInfo{IsTx: true, TS: 200}, Forwardable: true}
+	fresh := activeTx(t)
+	fresh.TS = 100
+	if dec, _ := l.DecideProbe(fresh, read); dec != htm.DecideNack {
+		t.Fatal("LEVC must not forward read blocks")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	for _, k := range Kinds() {
+		p, err := New(k)
+		if err != nil {
+			t.Fatalf("New(%s): %v", k, err)
+		}
+		if p.Name() == "" {
+			t.Fatalf("%s: empty name", k)
+		}
+		if p.Traits().Retries <= 0 {
+			t.Fatalf("%s: retries = %d", k, p.Traits().Retries)
+		}
+		if _, err := NewWith(k, p.Traits()); err != nil {
+			t.Fatalf("NewWith(%s): %v", k, err)
+		}
+	}
+	if _, err := New(Kind("nope")); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if _, err := NewWith(Kind("nope"), htm.Traits{}); err == nil {
+		t.Fatal("unknown kind accepted by NewWith")
+	}
+	if len(KindNames()) != len(Kinds()) {
+		t.Fatal("KindNames length mismatch")
+	}
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"testing"
+
+	"chats/internal/coherence"
+	"chats/internal/htm"
+)
+
+// The no-forwarding systems must fail loudly if the machine ever routes
+// speculative data at them — that would be a protocol bug.
+func TestNonForwardingSystemsPanicOnSpecPaths(t *testing.T) {
+	cases := []struct {
+		name string
+		spec func()
+		val  func()
+	}{
+		{"baseline",
+			func() { NewBaseline().AcceptSpec(activeTx(t), 10) },
+			func() { NewBaseline().ValidationCheck(activeTx(t), true, 10, true) }},
+		{"power",
+			func() { NewPower().AcceptSpec(activeTx(t), 10) },
+			func() { NewPower().ValidationCheck(activeTx(t), true, 10, true) }},
+	}
+	for _, c := range cases {
+		for _, fn := range []func(){c.spec, c.val} {
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Errorf("%s: expected panic", c.name)
+					}
+				}()
+				fn()
+			}()
+		}
+	}
+}
+
+func TestLEVCValidationValueOnly(t *testing.T) {
+	l := NewLEVCIdeal()
+	local := activeTx(t)
+	if o, cause := l.ValidationCheck(local, true, coherence.PiCNone, false); o != htm.ValidationAbort || cause != htm.CauseValidation {
+		t.Fatal("mismatch must abort")
+	}
+	if o, _ := l.ValidationCheck(local, true, coherence.PiCNone, true); o != htm.ValidationPending {
+		t.Fatal("matching spec response must stay pending")
+	}
+	if o, _ := l.ValidationCheck(local, false, coherence.PiCNone, true); o != htm.ValidationDone {
+		t.Fatal("real matching data must validate")
+	}
+}
+
+func TestPCHATSValidationMismatch(t *testing.T) {
+	p := NewPCHATS()
+	local := activeTx(t)
+	local.PiC = 12
+	if o, cause := p.ValidationCheck(local, true, 20, false); o != htm.ValidationAbort || cause != htm.CauseValidation {
+		t.Fatal("mismatch must abort")
+	}
+	if o, _ := p.ValidationCheck(local, false, coherence.PiCNone, true); o != htm.ValidationDone {
+		t.Fatal("real data must validate")
+	}
+	if o, cause := p.ValidationCheck(local, true, 12, true); o != htm.ValidationAbort || cause != htm.CauseCycle {
+		t.Fatal("PiC cycle must abort under PCHATS too")
+	}
+	if o, _ := p.ValidationCheck(local, true, 20, true); o != htm.ValidationPending {
+		t.Fatal("spec from above must stay pending")
+	}
+}
+
+func TestPCHATSNonPowerFollowsCHATSRules(t *testing.T) {
+	p := NewPCHATS()
+	// A read-set block predicted to be written is ineligible: a plain
+	// (non-power) responder resolves requester-wins.
+	pc := htm.ProbeContext{
+		Kind:           coherence.FwdGetX,
+		Req:            coherence.ReqInfo{IsTx: true, PiC: coherence.PiCNone},
+		PredictedWrite: true,
+		Forwardable:    true,
+	}
+	if dec, _ := p.DecideProbe(activeTx(t), pc); dec != htm.DecideAbort {
+		t.Fatal("non-power responder must abort on ineligible block")
+	}
+	// Eligible write-set block: CHATS forwarding applies.
+	local := activeTx(t)
+	dec, pic := p.DecideProbe(local, wsProbe(coherence.PiCNone))
+	if dec != htm.DecideSpec || pic != coherence.PiCInit {
+		t.Fatalf("dec=%v pic=%d", dec, pic)
+	}
+}
+
+func TestVariantConstructorDefaults(t *testing.T) {
+	// NewNaiveRSWith fills the naive budget when omitted.
+	n := NewNaiveRSWith(htm.Traits{Retries: 2, VSBSize: 4, ValidationInterval: 50})
+	if n.Traits().NaiveBudget != 16 {
+		t.Fatalf("naive budget = %d", n.Traits().NaiveBudget)
+	}
+	// Power/PCHATS variants fill PowerAfterAborts.
+	if NewPowerWith(htm.Traits{Retries: 2}).Traits().PowerAfterAborts != 2 {
+		t.Fatal("power trigger default missing")
+	}
+	if NewPCHATSWith(htm.Traits{Retries: 1, VSBSize: 4}).Traits().PowerAfterAborts != 2 {
+		t.Fatal("pchats trigger default missing")
+	}
+	if !NewPCHATSWith(htm.Traits{Retries: 1}).Traits().UsesPower {
+		t.Fatal("pchats must use power")
+	}
+	if NewPowerWith(htm.Traits{UsesVSB: true}).Traits().UsesVSB {
+		t.Fatal("power must not use a VSB")
+	}
+}
+
+func TestChatsAcceptPowerAndInvalidPiC(t *testing.T) {
+	c := NewCHATS()
+	// PiCPower consumption leaves the PiC alone even under plain CHATS
+	// (arises when PCHATS machinery shares the consumer path).
+	local := activeTx(t)
+	out := c.AcceptSpec(local, coherence.PiCPower)
+	if !out.Accept || local.PiC != coherence.PiCNone || !local.Cons {
+		t.Fatalf("power consume: %+v PiC=%d", out, local.PiC)
+	}
+	// A malformed PiC is treated as a race.
+	out = c.AcceptSpec(activeTx(t), coherence.PiC(-7))
+	if out.Accept || out.Cause != htm.CauseCycle {
+		t.Fatalf("invalid PiC accepted: %+v", out)
+	}
+	// A producer at position 0 cannot chain an unset consumer below it.
+	out = c.AcceptSpec(activeTx(t), 0)
+	if out.Accept || out.Cause != htm.CauseCycle {
+		t.Fatalf("underflow accepted: %+v", out)
+	}
+}
+
+func TestNaiveDecideInvNotForwardable(t *testing.T) {
+	n := NewNaiveRS()
+	pc := htm.ProbeContext{
+		Kind: coherence.InvProbe,
+		Req:  coherence.ReqInfo{IsTx: true},
+		// Forwardable false: invalidations cannot carry data.
+	}
+	if dec, _ := n.DecideProbe(activeTx(t), pc); dec != htm.DecideAbort {
+		t.Fatal("naive forwarded an invalidation")
+	}
+}

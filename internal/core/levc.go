@@ -1,0 +1,78 @@
+package core
+
+import (
+	"chats/internal/coherence"
+	"chats/internal/htm"
+)
+
+// LEVCIdeal is LEVC-BE-Idealized (Section VI-B): a best-effort adaptation
+// of Pant & Byrd's Limited Early Value Communication on top of a
+// requester-stall design with idealized timestamps (never roll over,
+// instantly propagated at no cost). Its restrictions, faithfully kept:
+//
+//   - a producer can forward speculative data to a single consumer;
+//   - chains of length greater than 1 are disallowed (a transaction that
+//     has consumed unvalidated data never forwards);
+//   - the timestamp-based deadlock avoidance is unaware of forwarding
+//     dependencies — the paper's key criticism, which this model
+//     reproduces (a high-priority transaction can abort the producer it
+//     consumed from, wasting the forwarding).
+type LEVCIdeal struct {
+	traits htm.Traits
+}
+
+// NewLEVCIdeal builds LEVC-BE-Idealized with Table II's configuration:
+// 64 retries, 4 VSB entries, back-to-back (0-cycle) validation, written
+// blocks only.
+func NewLEVCIdeal() *LEVCIdeal {
+	return &LEVCIdeal{traits: htm.Traits{
+		Retries:            64,
+		UsesVSB:            true,
+		VSBSize:            4,
+		ValidationInterval: 0,
+		ForwardMode:        htm.ForwardW,
+	}}
+}
+
+// NewLEVCIdealWith builds an LEVC variant.
+func NewLEVCIdealWith(t htm.Traits) *LEVCIdeal {
+	t.UsesVSB = true
+	return &LEVCIdeal{traits: t}
+}
+
+func (l *LEVCIdeal) Name() string       { return "LEVC-BE-Idealized" }
+func (l *LEVCIdeal) Traits() htm.Traits { return l.traits }
+
+// DecideProbe forwards when LEVC's draconian restrictions permit it;
+// otherwise it falls back to timestamp-ordered requester-stall: an older
+// requester wins (responder aborts), a younger one is nacked and stalls.
+func (l *LEVCIdeal) DecideProbe(local *htm.TxState, pc htm.ProbeContext) (htm.ProbeDecision, coherence.PiC) {
+	canForward := forwardEligible(l.traits.ForwardMode, pc) &&
+		local.VSB.Empty() && !local.Cons && // consumers never forward (chain length 1)
+		local.ForwardedTo == 0 // single consumer per producer
+	if canForward {
+		return htm.DecideSpec, coherence.PiCNone
+	}
+	if pc.Req.TS < local.TS {
+		return htm.DecideAbort, coherence.PiCNone
+	}
+	return htm.DecideNack, coherence.PiCNone
+}
+
+// AcceptSpec always consumes (the timestamp scheme ignores the created
+// dependency — deliberately, to model LEVC's shortcoming).
+func (l *LEVCIdeal) AcceptSpec(local *htm.TxState, pic coherence.PiC) htm.SpecOutcome {
+	local.Cons = true
+	return htm.SpecOutcome{Accept: true}
+}
+
+// ValidationCheck is value-only.
+func (l *LEVCIdeal) ValidationCheck(local *htm.TxState, isSpec bool, pic coherence.PiC, match bool) (htm.ValidationOutcome, htm.AbortCause) {
+	if !match {
+		return htm.ValidationAbort, htm.CauseValidation
+	}
+	if !isSpec {
+		return htm.ValidationDone, htm.CauseNone
+	}
+	return htm.ValidationPending, htm.CauseNone
+}

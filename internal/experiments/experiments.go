@@ -1,0 +1,288 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section VII). Each FigN function returns text tables whose
+// rows/series match what the paper plots; cmd/chats-experiments prints
+// them and EXPERIMENTS.md records the comparison against the paper.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"chats/internal/core"
+	"chats/internal/htm"
+	"chats/internal/machine"
+	"chats/internal/stats"
+	"chats/internal/workloads"
+)
+
+// Params configures a suite run.
+type Params struct {
+	// Size selects the workload scale (medium regenerates the figures).
+	Size workloads.Size
+	// Machine is the base Table I configuration.
+	Machine machine.Config
+	// Seeds is the number of seeds each cell is averaged over (0 or 1 =
+	// single run with Machine.Seed).
+	Seeds int
+	// Verbose, when non-nil, receives a progress line per simulation.
+	Verbose io.Writer
+}
+
+// DefaultParams returns the figure-regeneration setup.
+func DefaultParams() Params {
+	return Params{Size: workloads.Medium, Machine: machine.DefaultConfig()}
+}
+
+type runKey struct {
+	system core.Kind
+	traits string // fingerprint of trait overrides ("" = Table II default)
+	bench  string
+}
+
+// Suite runs (and memoizes) simulations; the main-matrix runs are shared
+// by Figs. 1, 4, 5, 6 and 7, like the artifact's config.chats.main.py.
+type Suite struct {
+	p     Params
+	cache map[runKey]machine.RunStats
+	// Runs counts distinct simulations executed.
+	Runs int
+}
+
+// NewSuite builds an empty suite.
+func NewSuite(p Params) *Suite {
+	return &Suite{p: p, cache: make(map[runKey]machine.RunStats)}
+}
+
+func traitsKey(t *htm.Traits) string {
+	if t == nil {
+		return ""
+	}
+	return fmt.Sprintf("r%d-v%d-i%d-f%d-n%d-p%v",
+		t.Retries, t.VSBSize, t.ValidationInterval, t.ForwardMode, t.NaiveBudget, t.UsesPower)
+}
+
+// Run simulates one (system, traits, bench) cell, memoized, averaging
+// over Params.Seeds seeds.
+func (s *Suite) Run(kind core.Kind, traits *htm.Traits, bench string) (machine.RunStats, error) {
+	k := runKey{system: kind, traits: traitsKey(traits), bench: bench}
+	if st, ok := s.cache[k]; ok {
+		return st, nil
+	}
+	seeds := s.p.Seeds
+	if seeds < 1 {
+		seeds = 1
+	}
+	var runs []machine.RunStats
+	for i := 0; i < seeds; i++ {
+		st, err := s.runOnce(kind, traits, bench, s.p.Machine.Seed+uint64(i))
+		if err != nil {
+			return machine.RunStats{}, err
+		}
+		runs = append(runs, st)
+	}
+	st := average(runs)
+	s.cache[k] = st
+	if s.p.Verbose != nil {
+		fmt.Fprintf(s.p.Verbose, "ran %-18s %-10s %12d cycles  %6d commits  %6d aborts\n",
+			kind, bench, st.Cycles, st.Commits, st.Aborts)
+	}
+	return st, nil
+}
+
+func (s *Suite) runOnce(kind core.Kind, traits *htm.Traits, bench string, seed uint64) (machine.RunStats, error) {
+	w, err := workloads.New(bench, s.p.Size)
+	if err != nil {
+		return machine.RunStats{}, err
+	}
+	var policy htm.Policy
+	if traits != nil {
+		policy, err = core.NewWith(kind, *traits)
+	} else {
+		policy, err = core.New(kind)
+	}
+	if err != nil {
+		return machine.RunStats{}, err
+	}
+	cfg := s.p.Machine
+	cfg.Seed = seed
+	m, err := machine.New(cfg, policy)
+	if err != nil {
+		return machine.RunStats{}, err
+	}
+	st, err := m.Run(w)
+	if err != nil {
+		return machine.RunStats{}, err
+	}
+	s.Runs++
+	return st, nil
+}
+
+// average folds per-seed runs into one RunStats with mean counts (the
+// figure-relevant fields).
+func average(runs []machine.RunStats) machine.RunStats {
+	if len(runs) == 1 {
+		return runs[0]
+	}
+	n := uint64(len(runs))
+	out := runs[0]
+	agg := func(get func(*machine.RunStats) *uint64) {
+		var sum uint64
+		for i := range runs {
+			sum += *get(&runs[i])
+		}
+		*get(&out) = sum / n
+	}
+	agg(func(r *machine.RunStats) *uint64 { return &r.Cycles })
+	agg(func(r *machine.RunStats) *uint64 { return &r.Commits })
+	agg(func(r *machine.RunStats) *uint64 { return &r.Aborts })
+	for c := range out.ByCause {
+		c := c
+		agg(func(r *machine.RunStats) *uint64 { return &r.ByCause[c] })
+	}
+	agg(func(r *machine.RunStats) *uint64 { return &r.Fallbacks })
+	agg(func(r *machine.RunStats) *uint64 { return &r.PowerAcqs })
+	agg(func(r *machine.RunStats) *uint64 { return &r.ConflictedCommitted })
+	agg(func(r *machine.RunStats) *uint64 { return &r.ConflictedAborted })
+	agg(func(r *machine.RunStats) *uint64 { return &r.ForwarderCommitted })
+	agg(func(r *machine.RunStats) *uint64 { return &r.ForwarderAborted })
+	agg(func(r *machine.RunStats) *uint64 { return &r.ConsumerCommitted })
+	agg(func(r *machine.RunStats) *uint64 { return &r.ConsumerAborted })
+	agg(func(r *machine.RunStats) *uint64 { return &r.SpecRespsSent })
+	agg(func(r *machine.RunStats) *uint64 { return &r.SpecRespsConsumed })
+	agg(func(r *machine.RunStats) *uint64 { return &r.Validations })
+	agg(func(r *machine.RunStats) *uint64 { return &r.ValidationsOK })
+	agg(func(r *machine.RunStats) *uint64 { return &r.Flits })
+	agg(func(r *machine.RunStats) *uint64 { return &r.Messages })
+	agg(func(r *machine.RunStats) *uint64 { return &r.L1Hits })
+	agg(func(r *machine.RunStats) *uint64 { return &r.L1Misses })
+	return out
+}
+
+// mainSystems are the Fig. 4–7 series.
+func mainSystems() []core.Kind {
+	return []core.Kind{core.KindBaseline, core.KindNaiveRS, core.KindCHATS, core.KindPower, core.KindPCHATS}
+}
+
+func sysNames(ks []core.Kind) []string {
+	ns := make([]string, len(ks))
+	for i, k := range ks {
+		ns[i] = string(k)
+	}
+	return ns
+}
+
+// normTimeTable builds a rows=benchmarks, cols=systems table of execution
+// time normalized to the baseline, with means over the STAMP subset.
+func (s *Suite) normTimeTable(title string, systems []core.Kind) (*stats.Table, error) {
+	t := stats.NewTable(title, workloads.AllNames(), sysNames(systems))
+	t.Note = "execution time normalized to baseline (lower is better); means over STAMP only"
+	for _, b := range workloads.AllNames() {
+		base, err := s.Run(core.KindBaseline, nil, b)
+		if err != nil {
+			return nil, err
+		}
+		for _, k := range systems {
+			st, err := s.Run(k, nil, b)
+			if err != nil {
+				return nil, err
+			}
+			t.Set(b, string(k), stats.Ratio(st.Cycles, base.Cycles))
+		}
+	}
+	t.AddMeanRows(workloads.STAMPNames())
+	return t, nil
+}
+
+// Fig1 reproduces the motivation figure: a naive requester-speculates
+// implementation vs the best-effort baseline.
+func (s *Suite) Fig1() (*stats.Table, error) {
+	return s.normTimeTable("Fig. 1: naive requester-speculates vs baseline",
+		[]core.Kind{core.KindBaseline, core.KindNaiveRS})
+}
+
+// Fig4 reproduces the headline execution-time comparison.
+func (s *Suite) Fig4() (*stats.Table, error) {
+	return s.normTimeTable("Fig. 4: execution time", mainSystems())
+}
+
+// Fig5 reproduces the abort counts split by cause: one summary table
+// (total aborted transactions normalized to baseline) plus one absolute
+// per-cause table per system.
+func (s *Suite) Fig5() ([]*stats.Table, error) {
+	summary := stats.NewTable("Fig. 5: aborted transactions (normalized to baseline)",
+		workloads.AllNames(), sysNames(mainSystems()))
+	var tables []*stats.Table
+	causeCols := make([]string, 0, htm.NumCauses-1)
+	for c := 1; c < htm.NumCauses; c++ {
+		causeCols = append(causeCols, htm.AbortCause(c).String())
+	}
+	for _, k := range mainSystems() {
+		ct := stats.NewTable(fmt.Sprintf("Fig. 5 detail: %s aborts by cause", k),
+			workloads.AllNames(), causeCols)
+		ct.Format = "%.0f"
+		for _, b := range workloads.AllNames() {
+			st, err := s.Run(k, nil, b)
+			if err != nil {
+				return nil, err
+			}
+			base, err := s.Run(core.KindBaseline, nil, b)
+			if err != nil {
+				return nil, err
+			}
+			summary.Set(b, string(k), stats.Ratio(st.Aborts, base.Aborts))
+			for c := 1; c < htm.NumCauses; c++ {
+				ct.Set(b, htm.AbortCause(c).String(), float64(st.ByCause[c]))
+			}
+		}
+		tables = append(tables, ct)
+	}
+	summary.AddMeanRows(workloads.STAMPNames())
+	return append([]*stats.Table{summary}, tables...), nil
+}
+
+// Fig6 reproduces the conflicted/forwarder transaction outcome split:
+// for each system, the fraction of executed transactions that conflicted
+// (and, where applicable, forwarded), split by commit/abort.
+func (s *Suite) Fig6() ([]*stats.Table, error) {
+	var tables []*stats.Table
+	cols := []string{"conflicted-committed", "conflicted-aborted", "forwarder-committed", "forwarder-aborted"}
+	for _, k := range mainSystems() {
+		t := stats.NewTable(fmt.Sprintf("Fig. 6: conflicting/forwarding transactions under %s", k),
+			workloads.AllNames(), cols)
+		t.Note = "fraction of executed transaction attempts"
+		for _, b := range workloads.AllNames() {
+			st, err := s.Run(k, nil, b)
+			if err != nil {
+				return nil, err
+			}
+			exec := st.Commits + st.Aborts
+			t.Set(b, "conflicted-committed", stats.Ratio(st.ConflictedCommitted, exec))
+			t.Set(b, "conflicted-aborted", stats.Ratio(st.ConflictedAborted, exec))
+			t.Set(b, "forwarder-committed", stats.Ratio(st.ForwarderCommitted, exec))
+			t.Set(b, "forwarder-aborted", stats.Ratio(st.ForwarderAborted, exec))
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// Fig7 reproduces the normalized network usage in flits.
+func (s *Suite) Fig7() (*stats.Table, error) {
+	t := stats.NewTable("Fig. 7: network usage (flits, normalized to baseline)",
+		workloads.AllNames(), sysNames(mainSystems()))
+	for _, b := range workloads.AllNames() {
+		base, err := s.Run(core.KindBaseline, nil, b)
+		if err != nil {
+			return nil, err
+		}
+		for _, k := range mainSystems() {
+			st, err := s.Run(k, nil, b)
+			if err != nil {
+				return nil, err
+			}
+			t.Set(b, string(k), stats.Ratio(st.Flits, base.Flits))
+		}
+	}
+	t.AddMeanRows(workloads.STAMPNames())
+	return t, nil
+}

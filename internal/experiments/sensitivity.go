@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"fmt"
+
+	"chats/internal/core"
+	"chats/internal/htm"
+	"chats/internal/stats"
+	"chats/internal/workloads"
+)
+
+// Fig8 reproduces the forwarding-eligibility study: CHATS and PCHATS
+// with R/W, W and Rrestrict/W block selection, normalized to CHATS with
+// R/W (as in the paper).
+func (s *Suite) Fig8() (*stats.Table, error) {
+	type variant struct {
+		col  string
+		kind core.Kind
+		mode htm.ForwardMode
+	}
+	variants := []variant{
+		{"chats-R/W", core.KindCHATS, htm.ForwardRW},
+		{"chats-W", core.KindCHATS, htm.ForwardW},
+		{"chats-Rr/W", core.KindCHATS, htm.ForwardRrestrictW},
+		{"pchats-R/W", core.KindPCHATS, htm.ForwardRW},
+		{"pchats-W", core.KindPCHATS, htm.ForwardW},
+		{"pchats-Rr/W", core.KindPCHATS, htm.ForwardRrestrictW},
+	}
+	cols := make([]string, len(variants))
+	for i, v := range variants {
+		cols[i] = v.col
+	}
+	t := stats.NewTable("Fig. 8: blocks eligible for forwarding (normalized to CHATS R/W)",
+		workloads.AllNames(), cols)
+	for _, b := range workloads.AllNames() {
+		var ref uint64
+		for i, v := range variants {
+			p, err := core.New(v.kind)
+			if err != nil {
+				return nil, err
+			}
+			tr := p.Traits()
+			tr.ForwardMode = v.mode
+			st, err := s.Run(v.kind, &tr, b)
+			if err != nil {
+				return nil, err
+			}
+			if i == 0 {
+				ref = st.Cycles
+			}
+			t.Set(b, v.col, stats.Ratio(st.Cycles, ref))
+		}
+	}
+	t.AddMeanRows(workloads.STAMPNames())
+	return t, nil
+}
+
+// Fig9Retries is the sweep of Fig. 9.
+var Fig9Retries = []int{1, 2, 4, 6, 8, 16, 32, 64}
+
+// Fig9 reproduces the retry-threshold sensitivity: per system, execution
+// time for each retry budget, normalized to the baseline at its Table II
+// default (6 retries).
+func (s *Suite) Fig9(systems []core.Kind) ([]*stats.Table, error) {
+	if systems == nil {
+		systems = []core.Kind{core.KindBaseline, core.KindCHATS, core.KindPower, core.KindPCHATS}
+	}
+	cols := make([]string, len(Fig9Retries))
+	for i, r := range Fig9Retries {
+		cols[i] = fmt.Sprintf("r=%d", r)
+	}
+	var tables []*stats.Table
+	for _, k := range systems {
+		t := stats.NewTable(fmt.Sprintf("Fig. 9: retry sensitivity, %s (normalized to baseline r=6)", k),
+			workloads.AllNames(), cols)
+		for _, b := range workloads.AllNames() {
+			base, err := s.Run(core.KindBaseline, nil, b)
+			if err != nil {
+				return nil, err
+			}
+			for i, r := range Fig9Retries {
+				p, err := core.New(k)
+				if err != nil {
+					return nil, err
+				}
+				tr := p.Traits()
+				tr.Retries = r
+				st, err := s.Run(k, &tr, b)
+				if err != nil {
+					return nil, err
+				}
+				t.Set(b, cols[i], stats.Ratio(st.Cycles, base.Cycles))
+			}
+		}
+		t.AddMeanRows(workloads.STAMPNames())
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// Fig. 10 sweep axes.
+var (
+	Fig10VSBSizes  = []int{1, 2, 4, 8, 16, 32}
+	Fig10Intervals = []uint64{50, 100, 200, 400}
+)
+
+// Fig10 reproduces the VSB-size × validation-interval heatmaps for
+// CHATS: geometric-mean execution time and aborts over the STAMP suite,
+// normalized to the bottom-left square (VSB=1, interval=50 cycles).
+func (s *Suite) Fig10() ([]*stats.Table, error) {
+	rows := make([]string, len(Fig10VSBSizes))
+	for i, v := range Fig10VSBSizes {
+		rows[i] = fmt.Sprintf("vsb=%d", v)
+	}
+	cols := make([]string, len(Fig10Intervals))
+	for i, iv := range Fig10Intervals {
+		cols[i] = fmt.Sprintf("val=%d", iv)
+	}
+	timeT := stats.NewTable("Fig. 10 (left): execution time vs VSB size and validation interval", rows, cols)
+	timeT.Note = "geomean over STAMP, normalized to vsb=1/val=50"
+	abortT := stats.NewTable("Fig. 10 (right): aborts vs VSB size and validation interval", rows, cols)
+	abortT.Note = "geomean over STAMP, normalized to vsb=1/val=50"
+
+	cell := func(vsb int, iv uint64) (float64, float64, error) {
+		var times, aborts []float64
+		for _, b := range workloads.STAMPNames() {
+			p, err := core.New(core.KindCHATS)
+			if err != nil {
+				return 0, 0, err
+			}
+			tr := p.Traits()
+			tr.VSBSize = vsb
+			tr.ValidationInterval = iv
+			st, err := s.Run(core.KindCHATS, &tr, b)
+			if err != nil {
+				return 0, 0, err
+			}
+			times = append(times, float64(st.Cycles))
+			aborts = append(aborts, float64(st.Aborts)+1) // +1 keeps geomean defined
+		}
+		return stats.GeoMean(times), stats.GeoMean(aborts), nil
+	}
+
+	refT, refA, err := cell(1, 50)
+	if err != nil {
+		return nil, err
+	}
+	for _, vsb := range Fig10VSBSizes {
+		for _, iv := range Fig10Intervals {
+			ct, ca, err := cell(vsb, iv)
+			if err != nil {
+				return nil, err
+			}
+			timeT.Set(fmt.Sprintf("vsb=%d", vsb), fmt.Sprintf("val=%d", iv), ct/refT)
+			abortT.Set(fmt.Sprintf("vsb=%d", vsb), fmt.Sprintf("val=%d", iv), ca/refA)
+		}
+	}
+	return []*stats.Table{timeT, abortT}, nil
+}
+
+// Fig11 reproduces the comparison against LEVC-BE-Idealized.
+func (s *Suite) Fig11() (*stats.Table, error) {
+	return s.normTimeTable("Fig. 11: CHATS vs LEVC-BE-Idealized",
+		[]core.Kind{core.KindBaseline, core.KindLEVC, core.KindCHATS, core.KindPCHATS})
+}

@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"chats/internal/core"
+	"chats/internal/machine"
+)
+
+// PrintTableI dumps the Table I system parameters of a machine config.
+func PrintTableI(w io.Writer, cfg machine.Config) {
+	fmt.Fprintln(w, "== Table I: system parameters ==")
+	fmt.Fprintf(w, "cores                 %d (in-order timing model; see DESIGN.md)\n", cfg.Cores)
+	fmt.Fprintf(w, "L1 D cache            %d KiB, %d-way, %d-cycle hit\n", cfg.L1Size/1024, cfg.L1Ways, cfg.L1Latency)
+	fmt.Fprintf(w, "L2 (private)          %d-cycle lookup on L1 miss\n", cfg.L2Latency)
+	fmt.Fprintf(w, "L3/directory (shared) %d-cycle access\n", cfg.LLCLatency)
+	fmt.Fprintf(w, "memory                %d-cycle first-touch fill\n", cfg.DRAMLatency)
+	fmt.Fprintf(w, "protocol              MESI, directory-based, blocking\n")
+	fmt.Fprintf(w, "network               crossbar, %d-cycle links, 1 flit control / 5 flits data\n", cfg.LinkLatency)
+	fmt.Fprintf(w, "HTM primitives        begin %d, commit %d, abort %d cycles\n",
+		cfg.BeginLatency, cfg.CommitLatency, cfg.AbortLatency)
+	fmt.Fprintln(w)
+}
+
+// PrintTableII dumps the per-system Table II configurations.
+func PrintTableII(w io.Writer) error {
+	fmt.Fprintln(w, "== Table II: HTM system configurations ==")
+	fmt.Fprintf(w, "%-18s %-12s %8s %9s %14s\n", "system", "blocks", "retries", "VSB size", "cycles valid.")
+	for _, k := range core.Kinds() {
+		p, err := core.New(k)
+		if err != nil {
+			return err
+		}
+		t := p.Traits()
+		blocks, vsb, valid := "NA", "NA", "NA"
+		if t.UsesVSB {
+			blocks = t.ForwardMode.String()
+			vsb = fmt.Sprintf("%d", t.VSBSize)
+			valid = fmt.Sprintf("%d", t.ValidationInterval)
+		}
+		fmt.Fprintf(w, "%-18s %-12s %8d %9s %14s\n", p.Name(), blocks, t.Retries, vsb, valid)
+	}
+	fmt.Fprintln(w)
+	return nil
+}

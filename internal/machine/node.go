@@ -1,0 +1,489 @@
+package machine
+
+import (
+	"chats/internal/cache"
+	"chats/internal/coherence"
+	"chats/internal/htm"
+	"chats/internal/mem"
+	"chats/internal/sim"
+)
+
+// pendingWB is a writeback in flight; a probe served from it cancels the
+// in-flight message.
+type pendingWB struct {
+	data      mem.Line
+	cancelled bool
+}
+
+// Node is one core: private L1, HTM state, the VSB validation controller
+// and the probe handler. All methods run at engine time (single
+// goroutine); completion callbacks are invoked at engine time too.
+type Node struct {
+	id     int
+	m      *Machine
+	l1     *cache.Cache
+	tx     *htm.TxState
+	policy htm.Policy
+	rng    *sim.Rand
+
+	wbPending map[mem.Addr]*pendingWB
+
+	// pendingStore is the line of the in-flight demand GetX, if any — the
+	// Rrestrict/W heuristic's "currently in-flight write from the local
+	// core" signal (Section VI-D).
+	pendingStore    mem.Addr
+	hasPendingStore bool
+
+	valTimer    *sim.Event
+	valInFlight bool
+	commitDone  func(committed bool)
+
+	// validatedThisTx counts VSB entries validated by the current
+	// transaction (reported through the tracer at commit).
+	validatedThisTx int
+}
+
+func newNode(id int, m *Machine, policy htm.Policy) *Node {
+	traits := policy.Traits()
+	vsb := traits.VSBSize
+	if vsb <= 0 {
+		vsb = 1
+	}
+	return &Node{
+		id:        id,
+		m:         m,
+		l1:        cache.New(m.cfg.L1Size, m.cfg.L1Ways),
+		tx:        htm.NewTxState(vsb),
+		policy:    policy,
+		rng:       sim.NewRand(m.cfg.Seed*1000003 + uint64(id) + 1),
+		wbPending: make(map[mem.Addr]*pendingWB),
+	}
+}
+
+func (n *Node) reqInfo(inTx, isValidation bool) coherence.ReqInfo {
+	ri := coherence.ReqInfo{ID: n.id, IsTx: inTx && n.tx.InTx(), IsValidation: isValidation}
+	if ri.IsTx {
+		ri.PiC = n.tx.PiC
+		ri.Power = n.tx.Power
+		ri.TS = n.tx.TS
+	}
+	return ri
+}
+
+// install puts a line in L1, handling the victim. It returns false when
+// the set is full of write-set lines (transactional overflow).
+func (n *Node) install(line mem.Addr, st cache.State, data mem.Line, sm, spec bool) bool {
+	v, evicted, ok := n.l1.Insert(line, st, data)
+	if !ok {
+		return false
+	}
+	e := n.l1.Peek(line)
+	e.SM = sm
+	e.Spec = spec
+	e.Dirty = false
+	if evicted {
+		n.handleVictim(v)
+	}
+	return true
+}
+
+func (n *Node) handleVictim(v *cache.Victim) {
+	if v.SM {
+		panic("machine: replacement evicted an SM line")
+	}
+	if v.State == cache.Modified && v.Dirty {
+		wb := &pendingWB{data: v.Data}
+		n.wbPending[v.Tag] = wb
+		tag := v.Tag
+		n.m.net.SendData(func() {
+			if n.wbPending[tag] == wb {
+				delete(n.wbPending, tag)
+			}
+			n.m.dir.WriteBack(tag, wb.data, n.id, &wb.cancelled)
+		})
+	}
+	// Clean lines (E, M-clean, S) drop silently; the directory tolerates
+	// it because the memory image holds their committed value.
+}
+
+// reinstall recovers a line whose writeback is still in flight (a hit in
+// the writeback buffer). Returns the entry, or nil if it could not be
+// re-inserted (set full of SM lines).
+func (n *Node) reinstall(line mem.Addr) *cache.Entry {
+	wb, ok := n.wbPending[line]
+	if !ok {
+		return nil
+	}
+	wb.cancelled = true
+	delete(n.wbPending, line)
+	if !n.install(line, cache.Modified, wb.data, false, false) {
+		return nil
+	}
+	e := n.l1.Peek(line)
+	e.Dirty = true
+	return e
+}
+
+// ---------- Load ----------
+
+// Load performs a (transactional or plain) word load; done receives the
+// value, or aborted=true if the surrounding transaction died.
+func (n *Node) Load(a mem.Addr, inTx bool, done func(val uint64, aborted bool)) {
+	n.m.eng.Schedule(n.m.cfg.L1Latency, func() { n.load1(a, inTx, done, 0, 0) })
+}
+
+func (n *Node) load1(a mem.Addr, inTx bool, done func(uint64, bool), nackTries, vsbTries int) {
+	if inTx && !n.tx.InTx() {
+		done(0, true)
+		return
+	}
+	line := a.Line()
+	e := n.l1.Lookup(line)
+	if e == nil {
+		if re := n.reinstall(line); re != nil {
+			e = re
+		}
+	}
+	if e != nil {
+		if inTx {
+			n.tx.AddRead(line)
+		}
+		done(e.Data[a.WordIndex()], false)
+		return
+	}
+	epoch := n.tx.Epoch
+	n.m.eng.Schedule(n.m.cfg.L2Latency, func() {
+		n.m.net.SendControl(func() {
+			n.m.dir.GetS(line, n.reqInfo(inTx, false), func(resp coherence.Resp) {
+				n.onLoadResp(a, inTx, epoch, resp, done, nackTries, vsbTries)
+			})
+		})
+	})
+}
+
+func (n *Node) onLoadResp(a mem.Addr, inTx bool, epoch uint64, resp coherence.Resp,
+	done func(uint64, bool), nackTries, vsbTries int) {
+	line := a.Line()
+	stale := inTx && n.tx.Epoch != epoch
+	switch resp.Kind {
+	case coherence.RespData:
+		st := cache.Shared
+		if resp.Excl {
+			st = cache.Exclusive
+		}
+		ok := n.install(line, st, resp.Data, false, false)
+		n.m.net.SendControl(func() { n.m.dir.Unblock(line) })
+		if stale {
+			done(0, true)
+			return
+		}
+		if !ok {
+			if inTx {
+				n.abortTx(htm.CauseCapacity)
+				done(0, true)
+				return
+			}
+			panic("machine: non-transactional install failed")
+		}
+		if inTx {
+			n.tx.AddRead(line)
+		}
+		done(resp.Data[a.WordIndex()], false)
+	case coherence.RespSpec:
+		if !inTx {
+			panic("machine: SpecResp delivered to a non-transactional load")
+		}
+		if stale {
+			n.m.stats.SpecDropStale++
+			done(0, true)
+			return
+		}
+		n.consumeSpec(line, resp, vsbTries,
+			func() { // retry the whole access
+				n.m.eng.Schedule(n.m.cfg.VSBRetryDelay, func() {
+					n.load1(a, inTx, done, nackTries, vsbTries+1)
+				})
+			},
+			func(aborted bool) {
+				if aborted {
+					done(0, true)
+					return
+				}
+				n.tx.AddRead(line)
+				e := n.l1.Peek(line)
+				done(e.Data[a.WordIndex()], false)
+			})
+	case coherence.RespNack:
+		if stale {
+			done(0, true)
+			return
+		}
+		if inTx && nackTries+1 >= n.m.cfg.NackRetryLimit {
+			n.abortTx(htm.CauseStall)
+			done(0, true)
+			return
+		}
+		n.m.eng.Schedule(n.m.cfg.NackRetryDelay, func() {
+			n.load1(a, inTx, done, nackTries+1, vsbTries)
+		})
+	}
+}
+
+// consumeSpec handles a demand-path SpecResp: VSB capacity, the policy's
+// consumer-side rules, and installation of the fiction line (SM + Spec,
+// added to the write set per Section V-A). retry re-issues the request;
+// cont continues the access (aborted=true when the consumer must die).
+func (n *Node) consumeSpec(line mem.Addr, resp coherence.Resp, vsbTries int,
+	retry func(), cont func(aborted bool)) {
+	if n.tx.VSB.Full() {
+		if _, have := n.tx.VSB.Lookup(line); !have {
+			n.m.stats.SpecDropVSB++
+			if vsbTries+1 >= n.m.cfg.VSBRetryLimit {
+				n.abortTx(htm.CauseCapacity)
+				cont(true)
+				return
+			}
+			retry()
+			return
+		}
+	}
+	out := n.policy.AcceptSpec(n.tx, resp.PiC)
+	switch {
+	case out.Cause != htm.CauseNone:
+		n.m.stats.SpecDropReject++
+		n.abortTx(out.Cause)
+		cont(true)
+	case out.Retry:
+		if vsbTries+1 >= n.m.cfg.VSBRetryLimit {
+			n.abortTx(htm.CauseStall)
+			cont(true)
+			return
+		}
+		retry()
+	case out.Accept:
+		if !n.tx.VSB.Add(line, resp.Data) {
+			panic("machine: VSB add failed after capacity check")
+		}
+		if !n.install(line, cache.Modified, resp.Data, true, true) {
+			n.abortTx(htm.CauseCapacity)
+			cont(true)
+			return
+		}
+		n.tx.AddWrite(line)
+		n.tx.Consumed = true
+		n.m.stats.SpecRespsConsumed++
+		if n.m.tracer != nil {
+			n.m.tracer.Consume(n.m.eng.Now(), n.id, line, resp.PiC)
+		}
+		n.armValidationTimer()
+		cont(false)
+	default:
+		panic("machine: empty SpecOutcome")
+	}
+}
+
+// ---------- Store ----------
+
+// Store performs a (transactional or plain) word store.
+func (n *Node) Store(a mem.Addr, v uint64, inTx bool, done func(aborted bool)) {
+	n.m.eng.Schedule(n.m.cfg.L1Latency, func() { n.store1(a, v, inTx, done, 0, 0) })
+}
+
+func (n *Node) store1(a mem.Addr, v uint64, inTx bool, done func(bool), nackTries, vsbTries int) {
+	if inTx && !n.tx.InTx() {
+		done(true)
+		return
+	}
+	line := a.Line()
+	e := n.l1.Lookup(line)
+	if e == nil {
+		if re := n.reinstall(line); re != nil {
+			e = re
+		}
+	}
+	if e != nil {
+		switch {
+		case e.SM:
+			// Already in the write set (possibly a spec-received fiction).
+			e.Data[a.WordIndex()] = v
+			done(false)
+			return
+		case e.State == cache.Modified || e.State == cache.Exclusive:
+			if inTx {
+				if e.Dirty {
+					// Lazy versioning: the committed value must reach the
+					// LLC before the first speculative write, so a later
+					// silent gang-invalidation cannot lose it. The store
+					// stalls until the writeback lands.
+					data := e.Data
+					n.m.net.SendData(func() {
+						n.m.dir.WriteBackData(line, data)
+						n.m.net.SendControl(func() {
+							if cur := n.l1.Peek(line); cur != nil {
+								cur.Dirty = false
+							}
+							n.store1(a, v, inTx, done, nackTries, vsbTries)
+						})
+					})
+					return
+				}
+				e.SM = true
+				n.tx.AddWrite(line)
+				e.Data[a.WordIndex()] = v
+			} else {
+				e.State = cache.Modified
+				e.Dirty = true
+				e.Data[a.WordIndex()] = v
+			}
+			done(false)
+			return
+		}
+		// Shared: fall through to the upgrade request.
+	}
+	epoch := n.tx.Epoch
+	if inTx {
+		n.pendingStore = line
+		n.hasPendingStore = true
+	}
+	n.m.eng.Schedule(n.m.cfg.L2Latency, func() {
+		n.m.net.SendControl(func() {
+			n.m.dir.GetX(line, n.reqInfo(inTx, false), func(resp coherence.Resp) {
+				if inTx {
+					n.hasPendingStore = false
+				}
+				n.onStoreResp(a, v, inTx, epoch, resp, done, nackTries, vsbTries)
+			})
+		})
+	})
+}
+
+func (n *Node) onStoreResp(a mem.Addr, v uint64, inTx bool, epoch uint64, resp coherence.Resp,
+	done func(bool), nackTries, vsbTries int) {
+	line := a.Line()
+	stale := inTx && n.tx.Epoch != epoch
+	switch resp.Kind {
+	case coherence.RespData:
+		ok := n.install(line, cache.Modified, resp.Data, false, false)
+		n.m.net.SendControl(func() { n.m.dir.Unblock(line) })
+		if stale {
+			done(true)
+			return
+		}
+		if !ok {
+			if inTx {
+				n.abortTx(htm.CauseCapacity)
+				done(true)
+				return
+			}
+			panic("machine: non-transactional install failed")
+		}
+		e := n.l1.Peek(line)
+		if inTx {
+			e.SM = true
+			n.tx.AddWrite(line)
+		} else {
+			e.Dirty = true
+		}
+		e.Data[a.WordIndex()] = v
+		done(false)
+	case coherence.RespSpec:
+		if !inTx {
+			panic("machine: SpecResp delivered to a non-transactional store")
+		}
+		if stale {
+			n.m.stats.SpecDropStale++
+			done(true)
+			return
+		}
+		n.consumeSpec(line, resp, vsbTries,
+			func() {
+				n.m.eng.Schedule(n.m.cfg.VSBRetryDelay, func() {
+					n.store1(a, v, inTx, done, nackTries, vsbTries+1)
+				})
+			},
+			func(aborted bool) {
+				if aborted {
+					done(true)
+					return
+				}
+				e := n.l1.Peek(line)
+				e.Data[a.WordIndex()] = v
+				done(false)
+			})
+	case coherence.RespNack:
+		if stale {
+			done(true)
+			return
+		}
+		if inTx && nackTries+1 >= n.m.cfg.NackRetryLimit {
+			n.abortTx(htm.CauseStall)
+			done(true)
+			return
+		}
+		n.m.eng.Schedule(n.m.cfg.NackRetryDelay, func() {
+			n.store1(a, v, inTx, done, nackTries+1, vsbTries)
+		})
+	}
+}
+
+// predicted reports whether the Rrestrict/W heuristic should refuse to
+// forward this (read-set) line: the local core has a write for it in
+// flight, so a forwarded copy would be invalidated almost immediately.
+func (n *Node) predicted(line mem.Addr) bool {
+	return n.hasPendingStore && n.pendingStore == line.Line()
+}
+
+// CAS performs a non-transactional compare-and-swap (used by the
+// fallback lock). done receives the previous value and whether the swap
+// happened.
+func (n *Node) CAS(a mem.Addr, old, new uint64, done func(prev uint64, swapped bool)) {
+	n.m.eng.Schedule(n.m.cfg.L1Latency, func() { n.cas1(a, old, new, done) })
+}
+
+func (n *Node) cas1(a mem.Addr, old, new uint64, done func(uint64, bool)) {
+	line := a.Line()
+	e := n.l1.Lookup(line)
+	if e == nil {
+		if re := n.reinstall(line); re != nil {
+			e = re
+		}
+	}
+	if e != nil && (e.State == cache.Modified || e.State == cache.Exclusive) && !e.SM {
+		prev := e.Data[a.WordIndex()]
+		if prev == old {
+			e.State = cache.Modified
+			e.Dirty = true
+			e.Data[a.WordIndex()] = new
+			done(prev, true)
+		} else {
+			done(prev, false)
+		}
+		return
+	}
+	n.m.eng.Schedule(n.m.cfg.L2Latency, func() {
+		n.m.net.SendControl(func() {
+			n.m.dir.GetX(line, n.reqInfo(false, false), func(resp coherence.Resp) {
+				switch resp.Kind {
+				case coherence.RespData:
+					if !n.install(line, cache.Modified, resp.Data, false, false) {
+						panic("machine: CAS install failed")
+					}
+					n.m.net.SendControl(func() { n.m.dir.Unblock(line) })
+					e := n.l1.Peek(line)
+					prev := e.Data[a.WordIndex()]
+					if prev == old {
+						e.Dirty = true
+						e.Data[a.WordIndex()] = new
+						done(prev, true)
+					} else {
+						done(prev, false)
+					}
+				case coherence.RespSpec:
+					panic("machine: SpecResp delivered to CAS")
+				case coherence.RespNack:
+					n.m.eng.Schedule(n.m.cfg.NackRetryDelay, func() { n.cas1(a, old, new, done) })
+				}
+			})
+		})
+	})
+}

@@ -1,0 +1,366 @@
+package machine
+
+import (
+	"chats/internal/cache"
+	"chats/internal/coherence"
+	"chats/internal/htm"
+	"chats/internal/mem"
+)
+
+// HandleProbe processes a directory probe: normal coherence service when
+// there is no conflict, otherwise the system's conflict-resolution
+// policy decides between requester-wins, requester-speculates and
+// requester-stalls (Section IV-A).
+func (n *Node) HandleProbe(p coherence.Probe) {
+	line := p.Line
+	if wb, ok := n.wbPending[line]; ok {
+		// Serve from the writeback buffer; the in-flight WB is withdrawn.
+		wb.cancelled = true
+		delete(n.wbPending, line)
+		p.ReplyData(wb.data)
+		return
+	}
+	e := n.l1.Peek(line)
+
+	conflict := false
+	inWS := false
+	if n.tx.InTx() {
+		inWS = n.tx.Writes(line)
+		if p.Kind == coherence.FwdGetS {
+			conflict = inWS // read-read is not a conflict
+		} else {
+			conflict = inWS || n.tx.Reads(line)
+		}
+	}
+	if !conflict {
+		n.replyNormal(p, e)
+		return
+	}
+
+	n.tx.Conflicted = true
+	n.m.stats.ProbeConflicts++
+	dec, pic := htm.DecideAbort, coherence.PiCNone
+	if p.Req.IsTx {
+		pc := htm.ProbeContext{
+			Line:           line,
+			Kind:           p.Kind,
+			Req:            p.Req,
+			InWriteSet:     inWS,
+			PredictedWrite: !inWS && n.predicted(line),
+			Forwardable:    p.Kind != coherence.InvProbe && e != nil,
+		}
+		dec, pic = n.policy.DecideProbe(n.tx, pc)
+	}
+	if dec == htm.DecideSpec && !(p.Kind != coherence.InvProbe && e != nil) {
+		panic("machine: policy forwarded an unforwardable probe")
+	}
+
+	switch dec {
+	case htm.DecideSpec:
+		n.m.stats.DecSpec++
+		n.tx.Forwarded = true
+		n.tx.ForwardedTo++
+		n.m.stats.SpecRespsSent++
+		if n.m.tracer != nil {
+			n.m.tracer.Forward(n.m.eng.Now(), n.id, p.Req.ID, line, pic)
+		}
+		var data mem.Line
+		if e != nil {
+			data = e.Data
+		}
+		p.ReplySpec(data, pic)
+	case htm.DecideNack:
+		n.m.stats.DecNack++
+		p.ReplyNack()
+	case htm.DecideAbort:
+		n.m.stats.DecAbort++
+		cause := htm.CauseConflict
+		if !p.Req.IsTx && line == n.m.lockLine {
+			cause = htm.CauseLock
+		}
+		n.abortTx(cause)
+		n.replyNormal(p, n.l1.Peek(line)) // SM lines are gone now
+	}
+}
+
+// replyNormal services a probe with plain MESI behavior.
+func (n *Node) replyNormal(p coherence.Probe, e *cache.Entry) {
+	if e == nil {
+		if p.Kind == coherence.InvProbe {
+			p.ReplyData(mem.Line{}) // nothing to invalidate
+		} else {
+			p.ReplyNoData() // silently dropped; directory serves memory
+		}
+		return
+	}
+	if e.SM {
+		panic("machine: normal reply would leak speculative data")
+	}
+	switch p.Kind {
+	case coherence.FwdGetS:
+		data := e.Data
+		e.State = cache.Shared
+		e.Dirty = false // the transfer refreshes the memory image
+		p.ReplyData(data)
+	case coherence.FwdGetX:
+		data := e.Data
+		n.l1.Invalidate(p.Line)
+		p.ReplyData(data)
+	case coherence.InvProbe:
+		n.l1.Invalidate(p.Line)
+		p.ReplyData(mem.Line{})
+	}
+}
+
+// abortTx kills the running transaction: stats, gang invalidation of the
+// write set, and — if the thread was blocked in commit — its wakeup. The
+// thread otherwise discovers the abort at its next operation.
+func (n *Node) abortTx(cause htm.AbortCause) {
+	if !n.tx.InTx() {
+		return
+	}
+	wasCommitting := n.tx.Status == htm.Committing
+	n.m.stats.Aborts++
+	n.m.stats.ByCause[cause]++
+	if n.tx.Conflicted {
+		n.m.stats.ConflictedAborted++
+	}
+	if n.tx.Forwarded {
+		n.m.stats.ForwarderAborted++
+	}
+	if n.tx.Consumed {
+		n.m.stats.ConsumerAborted++
+	}
+	n.tx.MarkAborted(cause)
+	n.l1.GangInvalidateSM()
+	n.stopValidationTimer()
+	if n.m.tracer != nil {
+		n.m.tracer.TxAbort(n.m.eng.Now(), n.id, cause)
+	}
+	if wasCommitting && n.commitDone != nil {
+		done := n.commitDone
+		n.commitDone = nil
+		n.m.eng.Schedule(n.m.cfg.AbortLatency, func() { done(false) })
+	}
+}
+
+// BeginTx starts a speculative attempt: it waits for the fallback lock
+// to be free, begins, and eagerly subscribes to the lock (reads it into
+// the read signature). done(false) means the begin raced with a lock
+// acquisition and should simply be retried.
+func (n *Node) BeginTx(attempt int, power bool, done func(ok bool)) {
+	n.m.eng.Schedule(n.m.cfg.BeginLatency, func() { n.begin1(attempt, power, done) })
+}
+
+func (n *Node) begin1(attempt int, power bool, done func(bool)) {
+	n.Load(n.m.lockAddr, false, func(v uint64, _ bool) {
+		if v != 0 {
+			n.m.eng.Schedule(n.m.cfg.BackoffBase+n.rng.Uint64n(n.m.cfg.BackoffBase), func() {
+				n.begin1(attempt, power, done)
+			})
+			return
+		}
+		n.tx.Begin(attempt, n.policy.Traits().NaiveBudget)
+		n.tx.Power = power
+		n.tx.TS = n.m.nextTS()
+		n.Load(n.m.lockAddr, true, func(v uint64, aborted bool) {
+			if aborted {
+				done(false)
+				return
+			}
+			if v != 0 {
+				n.abortTx(htm.CauseLock)
+				n.tx.Finish()
+				done(false)
+				return
+			}
+			n.validatedThisTx = 0
+			if n.m.tracer != nil {
+				n.m.tracer.TxBegin(n.m.eng.Now(), n.id, attempt, power)
+			}
+			done(true)
+		})
+	})
+}
+
+// Commit attempts to commit: the VSB must drain first (validation of all
+// speculatively received lines), then the write set atomically becomes
+// architectural.
+func (n *Node) Commit(done func(committed bool)) {
+	if !n.tx.InTx() {
+		n.m.eng.Schedule(n.m.cfg.AbortLatency, func() { done(false) })
+		return
+	}
+	if !n.tx.VSB.Empty() {
+		n.tx.Status = htm.Committing
+		n.commitDone = done
+		n.kickValidation()
+		return
+	}
+	n.finalizeCommit(done)
+}
+
+func (n *Node) finalizeCommit(done func(bool)) {
+	if n.m.tracer != nil {
+		n.m.tracer.TxCommit(n.m.eng.Now(), n.id, n.validatedThisTx)
+	}
+	n.l1.CommitSM(nil)
+	n.m.stats.Commits++
+	if n.tx.Conflicted {
+		n.m.stats.ConflictedCommitted++
+	}
+	if n.tx.Forwarded {
+		n.m.stats.ForwarderCommitted++
+	}
+	if n.tx.Consumed {
+		n.m.stats.ConsumerCommitted++
+	}
+	if n.tx.Power {
+		n.m.releasePower(n.id)
+	}
+	n.tx.Finish()
+	n.stopValidationTimer()
+	n.m.eng.Schedule(n.m.cfg.CommitLatency, func() { done(true) })
+}
+
+// FinishAbort acknowledges a delivered abort: the thread has unwound and
+// the state returns to Idle. Returns the recorded cause.
+func (n *Node) FinishAbort() htm.AbortCause {
+	cause := n.tx.Cause
+	if n.tx.Status == htm.Aborted {
+		n.tx.Finish()
+	}
+	return cause
+}
+
+// EnterFallback marks the core as executing the software fallback path.
+func (n *Node) EnterFallback() {
+	n.tx.Status = htm.Fallback
+	n.m.stats.Fallbacks++
+	if n.m.tracer != nil {
+		n.m.tracer.Fallback(n.m.eng.Now(), n.id)
+	}
+}
+
+// ExitFallback returns the core to Idle.
+func (n *Node) ExitFallback() {
+	if n.tx.Status != htm.Fallback {
+		panic("machine: ExitFallback outside fallback")
+	}
+	n.tx.Status = htm.Idle
+}
+
+// ---------- VSB validation controller (Section IV-B) ----------
+
+func (n *Node) stopValidationTimer() {
+	if n.valTimer != nil {
+		n.m.eng.Cancel(n.valTimer)
+		n.valTimer = nil
+	}
+}
+
+// armValidationTimer schedules the next periodic validation if the VSB
+// holds unvalidated data.
+func (n *Node) armValidationTimer() {
+	if n.valTimer != nil || n.valInFlight || !n.tx.InTx() || n.tx.VSB.Empty() {
+		return
+	}
+	interval := n.policy.Traits().ValidationInterval
+	if interval == 0 || n.tx.Status == htm.Committing {
+		interval = 1 // back-to-back validation
+	}
+	n.valTimer = n.m.eng.Schedule(interval, func() {
+		n.valTimer = nil
+		n.issueValidation()
+	})
+}
+
+// kickValidation validates immediately (commit is waiting).
+func (n *Node) kickValidation() {
+	n.stopValidationTimer()
+	if !n.valInFlight {
+		n.issueValidation()
+	}
+}
+
+func (n *Node) issueValidation() {
+	if n.valInFlight || !n.tx.InTx() || n.tx.VSB.Empty() {
+		return
+	}
+	ent, ok := n.tx.VSB.NextToValidate()
+	if !ok {
+		return
+	}
+	epoch := n.tx.Epoch
+	n.valInFlight = true
+	n.m.stats.Validations++
+	n.m.net.SendControl(func() {
+		n.m.dir.GetX(ent.Line, n.reqInfo(true, true), func(resp coherence.Resp) {
+			n.onValidationResp(ent, epoch, resp)
+		})
+	})
+}
+
+func (n *Node) onValidationResp(ent htm.VSBEntry, epoch uint64, resp coherence.Resp) {
+	n.valInFlight = false
+	stale := n.tx.Epoch != epoch
+	switch resp.Kind {
+	case coherence.RespData:
+		n.m.net.SendControl(func() { n.m.dir.Unblock(ent.Line) })
+		if stale {
+			// Ownership granted to a dead transaction: adopt the line as a
+			// plain clean copy so the directory's view stays consistent.
+			if n.l1.Peek(ent.Line) == nil {
+				n.install(ent.Line, cache.Modified, resp.Data, false, false)
+			}
+			return
+		}
+		match := resp.Data == ent.Data
+		out, cause := n.policy.ValidationCheck(n.tx, false, resp.PiC, match)
+		switch out {
+		case htm.ValidationDone:
+			n.tx.VSB.Remove(ent.Line)
+			n.m.stats.ValidationsOK++
+			n.validatedThisTx++
+			if n.m.tracer != nil {
+				n.m.tracer.Validate(n.m.eng.Now(), n.id, ent.Line, true)
+			}
+			if e := n.l1.Peek(ent.Line); e != nil {
+				e.Spec = false // the fiction is now real ownership
+			}
+			if n.tx.VSB.Empty() {
+				n.tx.Cons = false
+				if n.tx.Status == htm.Committing && n.commitDone != nil {
+					done := n.commitDone
+					n.commitDone = nil
+					n.finalizeCommit(done)
+					return
+				}
+			}
+			n.armValidationTimer()
+		case htm.ValidationAbort:
+			n.abortTx(cause)
+		case htm.ValidationPending:
+			n.armValidationTimer()
+		}
+	case coherence.RespSpec:
+		if stale {
+			return
+		}
+		match := resp.Data == ent.Data
+		out, cause := n.policy.ValidationCheck(n.tx, true, resp.PiC, match)
+		if out == htm.ValidationAbort {
+			n.abortTx(cause)
+			return
+		}
+		if n.m.tracer != nil {
+			n.m.tracer.Validate(n.m.eng.Now(), n.id, ent.Line, false)
+		}
+		n.armValidationTimer()
+	case coherence.RespNack:
+		if stale {
+			return
+		}
+		n.armValidationTimer()
+	}
+}

@@ -1,0 +1,413 @@
+package machine
+
+import (
+	"sync"
+
+	"chats/internal/htm"
+	"chats/internal/mem"
+	"chats/internal/sim"
+)
+
+// Ctx is the API a workload thread programs against. All memory methods
+// act on simulated memory and advance simulated time; Atomic runs its
+// body as a hardware transaction with the configured retry and fallback
+// behavior.
+type Ctx interface {
+	// TID is this thread's id (0-based).
+	TID() int
+	// Threads is the number of threads in the run.
+	Threads() int
+	// Rand is this thread's deterministic PRNG.
+	Rand() *sim.Rand
+	// Atomic executes body atomically: as a hardware transaction with
+	// retries, escalating to the power token or the global fallback lock
+	// per the system's configuration. The body may run multiple times and
+	// must keep mutable state in simulated memory or in per-attempt
+	// locals.
+	Atomic(body func(tx Tx))
+	// Load reads a word non-transactionally.
+	Load(a mem.Addr) uint64
+	// Store writes a word non-transactionally.
+	Store(a mem.Addr, v uint64)
+	// Work consumes n cycles of computation.
+	Work(n uint64)
+}
+
+// Tx is the handle the Atomic body uses. Inside a hardware transaction
+// the accesses are speculative; on the fallback path they are plain
+// accesses protected by the global lock.
+type Tx interface {
+	Load(a mem.Addr) uint64
+	Store(a mem.Addr, v uint64)
+	Work(n uint64)
+	TID() int
+	Rand() *sim.Rand
+	// Fallback reports whether this execution runs on the software
+	// fallback path rather than speculatively.
+	Fallback() bool
+}
+
+// txAbort unwinds the Atomic body when the transaction dies.
+type txAbort struct{}
+
+// killedSignal unwinds a thread when the simulation is torn down.
+type killedSignal struct{}
+
+type opKind uint8
+
+const (
+	opLoad opKind = iota
+	opStore
+	opCAS
+	opWork
+	opBegin
+	opCommit
+	opAbortAck
+	opEnterFallback
+	opExitFallback
+	opAcquirePower
+	opReleasePower
+)
+
+type opReq struct {
+	kind    opKind
+	addr    mem.Addr
+	val     uint64
+	val2    uint64
+	inTx    bool
+	power   bool
+	attempt int
+}
+
+type opReply struct {
+	val     uint64
+	aborted bool
+	ok      bool
+	swapped bool
+	cause   htm.AbortCause
+	fatal   bool
+}
+
+// tctx is one simulated thread: the goroutine side talks to the engine
+// through a strict rendezvous, so exactly one of {engine, some thread}
+// runs at any instant and the simulation stays deterministic.
+type tctx struct {
+	r       *runner
+	node    *Node
+	tid     int
+	rng     *sim.Rand
+	reqCh   chan opReq
+	replyCh chan opReply
+
+	// engine-side bookkeeping
+	pendingOp bool
+	done      bool
+}
+
+type runner struct {
+	m       *Machine
+	threads []*tctx
+	active  int
+}
+
+func newRunner(m *Machine) *runner { return &runner{m: m} }
+
+func (r *runner) run(w Workload) error {
+	var wg sync.WaitGroup
+	for i := range r.m.nodes {
+		t := &tctx{
+			r:       r,
+			node:    r.m.nodes[i],
+			tid:     i,
+			rng:     sim.NewRand(r.m.cfg.Seed*7919 + uint64(i) + 101),
+			reqCh:   make(chan opReq),
+			replyCh: make(chan opReply),
+		}
+		r.threads = append(r.threads, t)
+		wg.Add(1)
+		go func(t *tctx) {
+			defer wg.Done()
+			defer close(t.reqCh)
+			defer func() {
+				if rec := recover(); rec != nil {
+					if _, ok := rec.(killedSignal); ok {
+						return
+					}
+					panic(rec)
+				}
+			}()
+			w.Thread(t, t.tid)
+		}(t)
+	}
+	r.active = len(r.threads)
+	for _, t := range r.threads {
+		t := t
+		r.m.eng.Schedule(0, func() { r.pump(t) })
+	}
+	_, err := r.m.eng.Run(r.m.cfg.CycleLimit)
+	if err != nil {
+		r.kill()
+	}
+	wg.Wait()
+	return err
+}
+
+// kill unblocks every remaining thread after a cycle-limit error so the
+// goroutines exit cleanly.
+func (r *runner) kill() {
+	for _, t := range r.threads {
+		if t.done {
+			continue
+		}
+		if t.pendingOp {
+			t.replyCh <- opReply{fatal: true}
+		} else {
+			if _, ok := <-t.reqCh; !ok {
+				continue
+			}
+			t.replyCh <- opReply{fatal: true}
+		}
+		for range t.reqCh { // drain until the deferred close
+		}
+	}
+}
+
+// pump blocks until the thread issues its next operation (or finishes)
+// and dispatches it. It runs inside engine events; blocking here is what
+// hands the CPU to the thread goroutine.
+func (r *runner) pump(t *tctx) {
+	req, ok := <-t.reqCh
+	if !ok {
+		t.done = true
+		r.active--
+		return
+	}
+	r.dispatch(t, req)
+}
+
+func (r *runner) dispatch(t *tctx, req opReq) {
+	m := r.m
+	n := t.node
+	t.pendingOp = true
+	finish := func(rep opReply) {
+		t.pendingOp = false
+		t.replyCh <- rep
+		r.pump(t)
+	}
+	switch req.kind {
+	case opLoad:
+		n.Load(req.addr, req.inTx, func(v uint64, ab bool) {
+			finish(opReply{val: v, aborted: ab})
+		})
+	case opStore:
+		n.Store(req.addr, req.val, req.inTx, func(ab bool) {
+			finish(opReply{aborted: ab})
+		})
+	case opCAS:
+		n.CAS(req.addr, req.val, req.val2, func(prev uint64, sw bool) {
+			finish(opReply{val: prev, swapped: sw})
+		})
+	case opWork:
+		cycles := req.val
+		if cycles == 0 {
+			cycles = 1
+		}
+		m.eng.Schedule(cycles, func() {
+			finish(opReply{aborted: req.inTx && !n.tx.InTx()})
+		})
+	case opBegin:
+		n.BeginTx(req.attempt, req.power, func(ok bool) {
+			finish(opReply{ok: ok})
+		})
+	case opCommit:
+		n.Commit(func(committed bool) {
+			if committed {
+				finish(opReply{ok: true})
+			} else {
+				finish(opReply{aborted: true, cause: n.FinishAbort()})
+			}
+		})
+	case opAbortAck:
+		cause := n.FinishAbort()
+		m.eng.Schedule(m.cfg.AbortLatency, func() {
+			finish(opReply{cause: cause})
+		})
+	case opEnterFallback:
+		n.EnterFallback()
+		m.eng.Schedule(1, func() { finish(opReply{ok: true}) })
+	case opExitFallback:
+		n.ExitFallback()
+		m.eng.Schedule(1, func() { finish(opReply{ok: true}) })
+	case opAcquirePower:
+		ok := m.tryAcquirePower(n.id)
+		m.eng.Schedule(1, func() { finish(opReply{ok: ok}) })
+	case opReleasePower:
+		m.releasePower(n.id)
+		m.eng.Schedule(1, func() { finish(opReply{ok: true}) })
+	default:
+		panic("machine: unknown op")
+	}
+}
+
+// ---------- thread-side API ----------
+
+func (t *tctx) do(req opReq) opReply {
+	t.reqCh <- req
+	rep := <-t.replyCh
+	if rep.fatal {
+		panic(killedSignal{})
+	}
+	return rep
+}
+
+func (t *tctx) TID() int        { return t.tid }
+func (t *tctx) Threads() int    { return len(t.r.threads) }
+func (t *tctx) Rand() *sim.Rand { return t.rng }
+
+func (t *tctx) Load(a mem.Addr) uint64 {
+	return t.do(opReq{kind: opLoad, addr: a}).val
+}
+
+func (t *tctx) Store(a mem.Addr, v uint64) {
+	t.do(opReq{kind: opStore, addr: a, val: v})
+}
+
+func (t *tctx) Work(n uint64) {
+	t.do(opReq{kind: opWork, val: n})
+}
+
+// backoff computes the randomized retry delay after the given number of
+// aborts.
+func (t *tctx) backoff(aborts int) uint64 {
+	shift := aborts
+	if shift > 5 {
+		shift = 5
+	}
+	base := t.r.m.cfg.BackoffBase
+	return base<<uint(shift) + t.rng.Uint64n(base+1)
+}
+
+// Atomic implements the retry / power-token / fallback-lock state
+// machine of Section VI-D around the hardware transaction.
+func (t *tctx) Atomic(body func(tx Tx)) {
+	traits := t.node.policy.Traits()
+	totalAborts := 0
+	contentionAborts := 0
+	powerMode := false
+	powerAttempts := 0
+	attempt := 0
+	for {
+		if traits.UsesPower && !powerMode &&
+			(contentionAborts >= traits.PowerAfterAborts || totalAborts >= traits.Retries) {
+			// Elevate if the token is free; otherwise keep executing
+			// normally and try again after the next abort.
+			powerMode = t.do(opReq{kind: opAcquirePower}).ok
+		}
+		useLock := false
+		if powerMode {
+			useLock = powerAttempts >= t.r.m.cfg.PowerAttemptLimit
+		} else if !traits.UsesPower {
+			useLock = totalAborts > traits.Retries
+		}
+		if useLock {
+			t.fallbackLock(body)
+			if powerMode {
+				t.do(opReq{kind: opReleasePower})
+			}
+			return
+		}
+		attempt++
+		if !t.do(opReq{kind: opBegin, attempt: attempt, power: powerMode}).ok {
+			continue // raced with a lock acquisition; just re-begin
+		}
+		if powerMode {
+			powerAttempts++
+		}
+		committed, cause := t.runSpec(body)
+		if committed {
+			return // a power commit released the token engine-side
+		}
+		if cause != htm.CauseLock {
+			totalAborts++
+			switch cause {
+			case htm.CauseConflict, htm.CauseValidation, htm.CauseCycle, htm.CauseStall:
+				contentionAborts++
+			}
+			t.do(opReq{kind: opWork, val: t.backoff(totalAborts)})
+		}
+	}
+}
+
+// runSpec executes the body speculatively once, converting the abort
+// panic back into a (committed=false, cause) result.
+func (t *tctx) runSpec(body func(Tx)) (committed bool, cause htm.AbortCause) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			if _, ok := rec.(txAbort); !ok {
+				panic(rec)
+			}
+			rep := t.do(opReq{kind: opAbortAck})
+			committed = false
+			cause = rep.cause
+		}
+	}()
+	body(txHandle{t: t})
+	rep := t.do(opReq{kind: opCommit})
+	if rep.aborted {
+		return false, rep.cause
+	}
+	return true, htm.CauseNone
+}
+
+// fallbackLock serializes through the global lock: test-test-and-set
+// acquire, non-speculative body, release. Running transactions abort via
+// their eager lock subscription when the CAS takes the line.
+func (t *tctx) fallbackLock(body func(Tx)) {
+	la := t.r.m.lockAddr
+	for {
+		for t.do(opReq{kind: opLoad, addr: la}).val != 0 {
+			t.do(opReq{kind: opWork, val: 64 + t.rng.Uint64n(64)})
+		}
+		if t.do(opReq{kind: opCAS, addr: la, val: 0, val2: 1}).swapped {
+			break
+		}
+		t.do(opReq{kind: opWork, val: 64 + t.rng.Uint64n(64)})
+	}
+	t.do(opReq{kind: opEnterFallback})
+	body(txHandle{t: t, fallback: true})
+	t.do(opReq{kind: opExitFallback})
+	t.do(opReq{kind: opStore, addr: la, val: 0})
+}
+
+// txHandle implements Tx. With fallback unset the operations are
+// transactional and panic on abort; on the fallback path they are plain.
+type txHandle struct {
+	t        *tctx
+	fallback bool
+}
+
+func (h txHandle) TID() int        { return h.t.tid }
+func (h txHandle) Rand() *sim.Rand { return h.t.rng }
+func (h txHandle) Fallback() bool  { return h.fallback }
+
+func (h txHandle) Load(a mem.Addr) uint64 {
+	rep := h.t.do(opReq{kind: opLoad, addr: a, inTx: !h.fallback})
+	if rep.aborted {
+		panic(txAbort{})
+	}
+	return rep.val
+}
+
+func (h txHandle) Store(a mem.Addr, v uint64) {
+	rep := h.t.do(opReq{kind: opStore, addr: a, val: v, inTx: !h.fallback})
+	if rep.aborted {
+		panic(txAbort{})
+	}
+}
+
+func (h txHandle) Work(n uint64) {
+	rep := h.t.do(opReq{kind: opWork, val: n, inTx: !h.fallback})
+	if rep.aborted {
+		panic(txAbort{})
+	}
+}

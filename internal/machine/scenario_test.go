@@ -1,0 +1,273 @@
+package machine
+
+import (
+	"fmt"
+	"testing"
+
+	"chats/internal/core"
+	"chats/internal/htm"
+	"chats/internal/mem"
+)
+
+// Scenario tests pin down the paper's Section III behaviors with
+// two/three-thread choreography controlled by Work delays.
+
+// mismatchWL: the producer overwrites a forwarded line before commit;
+// the consumer must fail value-based validation (Section III-A scenario
+// i: "the consumed data was an intermediate version").
+type mismatchWL struct {
+	a mem.Addr
+}
+
+func (w *mismatchWL) Name() string { return "mismatch" }
+func (w *mismatchWL) Setup(wd *World, threads int) {
+	w.a = wd.Alloc.LineAligned(1)
+}
+func (w *mismatchWL) Thread(ctx Ctx, tid int) {
+	switch tid {
+	case 0: // producer: write, linger (forwarding happens here), overwrite
+		ctx.Atomic(func(tx Tx) {
+			tx.Store(w.a, 1)
+			tx.Work(3000)
+			tx.Store(w.a, 2)
+			tx.Work(1000)
+		})
+	case 1: // consumer: arrives mid-linger, consumes the intermediate 1
+		ctx.Work(500)
+		ctx.Atomic(func(tx Tx) {
+			_ = tx.Load(w.a)
+			tx.Work(200)
+		})
+	}
+}
+func (w *mismatchWL) Check(wd *World) error {
+	if v := wd.Mem.ReadWord(w.a); v != 2 {
+		return fmt.Errorf("final value %d, want 2", v)
+	}
+	return nil
+}
+
+func TestValidationMismatchAborts(t *testing.T) {
+	stats := runWL(t, core.KindCHATS, &mismatchWL{}, testCfg())
+	if stats.SpecRespsConsumed == 0 {
+		t.Fatal("scenario did not forward (timing broke); adjust delays")
+	}
+	if stats.ByCause[htm.CauseValidation] == 0 {
+		t.Fatalf("expected a validation-mismatch abort; causes = %v", stats.ByCause)
+	}
+}
+
+// cascadeWL: T0 forwards to T1, T1's producer then aborts (killed by a
+// non-transactional access); the abort must propagate to T1 through
+// validation without any explicit message (Section III-A "cascading
+// aborts").
+type cascadeWL struct {
+	a, b mem.Addr
+}
+
+func (w *cascadeWL) Name() string { return "cascade" }
+func (w *cascadeWL) Setup(wd *World, threads int) {
+	w.a = wd.Alloc.LineAligned(1)
+	w.b = wd.Alloc.LineAligned(1)
+}
+func (w *cascadeWL) Thread(ctx Ctx, tid int) {
+	switch tid {
+	case 0: // producer: writes a, lingers long enough to be killed
+		ctx.Atomic(func(tx Tx) {
+			tx.Store(w.a, tx.Load(w.a)+1)
+			tx.Work(6000)
+		})
+	case 1: // consumer of a
+		ctx.Work(500)
+		ctx.Atomic(func(tx Tx) {
+			_ = tx.Load(w.a)
+			tx.Work(6000)
+		})
+	case 2: // killer: non-transactional write to a kills the producer
+		ctx.Work(2500)
+		ctx.Store(w.a, 100)
+	}
+}
+func (w *cascadeWL) Check(wd *World) error { return nil }
+
+func TestCascadingAbortViaValidation(t *testing.T) {
+	stats := runWL(t, core.KindCHATS, &cascadeWL{}, testCfg())
+	if stats.SpecRespsConsumed == 0 {
+		t.Fatal("scenario did not forward")
+	}
+	// Producer dies from the non-tx conflict; consumer dies from value
+	// mismatch during validation.
+	if stats.ByCause[htm.CauseConflict] == 0 {
+		t.Fatalf("producer was not killed; causes = %v", stats.ByCause)
+	}
+	if stats.ByCause[htm.CauseValidation] == 0 {
+		t.Fatalf("consumer did not cascade-abort; causes = %v", stats.ByCause)
+	}
+}
+
+// abaWL: the producer aborts after forwarding, but the forwarded value
+// equals the committed value (a clean read-set forward) — validation
+// must succeed and the consumer commit (Section III-C: correctness is
+// value-based, not identity-based).
+type abaWL struct {
+	a mem.Addr
+}
+
+func (w *abaWL) Name() string { return "aba" }
+func (w *abaWL) Setup(wd *World, threads int) {
+	w.a = wd.Alloc.LineAligned(1)
+	wd.Mem.WriteWord(w.a, 7)
+}
+func (w *abaWL) Thread(ctx Ctx, tid int) {
+	switch tid {
+	case 0: // reader transaction that will forward its read set and abort
+		ctx.Atomic(func(tx Tx) {
+			if tx.Load(w.a) == 7 && !tx.Fallback() {
+				tx.Work(4000) // window for the consumer + killer
+			}
+		})
+	case 1: // writer: conflicts with the reader's read set, consumes
+		ctx.Work(300)
+		ctx.Atomic(func(tx Tx) {
+			v := tx.Load(w.a)
+			tx.Store(w.a, v+1)
+			tx.Work(500)
+		})
+	}
+}
+func (w *abaWL) Check(wd *World) error {
+	if v := wd.Mem.ReadWord(w.a); v != 8 {
+		return fmt.Errorf("final value %d, want 8", v)
+	}
+	return nil
+}
+
+func TestCleanForwardSurvivesProducerLifetime(t *testing.T) {
+	// Use R/W forwarding so the reader's clean block is forwarded.
+	policy := core.NewCHATSWith(htm.Traits{
+		Retries: 32, VSBSize: 4, ValidationInterval: 50, ForwardMode: htm.ForwardRW,
+	})
+	m, err := New(testCfg(), policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := m.Run(&abaWL{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SpecRespsConsumed == 0 {
+		t.Skip("timing did not produce a forwarding; scenario inconclusive")
+	}
+	if stats.ValidationsOK == 0 {
+		t.Fatalf("clean forward failed validation; stats = %+v", stats)
+	}
+}
+
+// chainWL builds a chain of three transactions on three different lines:
+// T0 produces a to T1; T1 produces b to T2. CHATS must allow the length-2
+// chain (LEVC must not) and commits must respect the order.
+type chainWL struct {
+	a, b  mem.Addr
+	order mem.Addr // records commit order via post-commit stores
+}
+
+func (w *chainWL) Name() string { return "chain" }
+func (w *chainWL) Setup(wd *World, threads int) {
+	w.a = wd.Alloc.LineAligned(1)
+	w.b = wd.Alloc.LineAligned(1)
+	w.order = wd.Alloc.LineAligned(2)
+}
+func (w *chainWL) Thread(ctx Ctx, tid int) {
+	switch tid {
+	case 0: // head producer: owns a
+		ctx.Atomic(func(tx Tx) {
+			tx.Store(w.a, 10)
+			tx.Work(4000)
+		})
+	case 1: // middle: consumes a, produces b
+		ctx.Work(400)
+		ctx.Atomic(func(tx Tx) {
+			tx.Store(w.b, tx.Load(w.a)+1)
+			tx.Work(4000)
+		})
+	case 2: // tail: consumes b
+		ctx.Work(900)
+		ctx.Atomic(func(tx Tx) {
+			_ = tx.Load(w.b)
+			tx.Work(500)
+		})
+	}
+}
+func (w *chainWL) Check(wd *World) error {
+	if got := wd.Mem.ReadWord(w.b); got != 11 {
+		return fmt.Errorf("b = %d, want 11", got)
+	}
+	return nil
+}
+
+func TestChainOfThree(t *testing.T) {
+	stats := runWL(t, core.KindCHATS, &chainWL{}, testCfg())
+	if stats.SpecRespsConsumed < 2 {
+		t.Skipf("chain did not form (consumed=%d); scenario inconclusive", stats.SpecRespsConsumed)
+	}
+	if stats.Aborts != 0 {
+		t.Logf("note: %d aborts in chain scenario (causes %v)", stats.Aborts, stats.ByCause)
+	}
+	if stats.ValidationsOK < 2 {
+		t.Fatalf("chain did not validate through: %+v", stats)
+	}
+}
+
+// LEVC restricts chains to length 1: the same scenario must not form a
+// two-hop chain (the middle transaction never forwards while consuming).
+func TestLEVCLimitsChainLength(t *testing.T) {
+	stats := runWL(t, core.KindLEVC, &chainWL{}, testCfg())
+	// The middle transaction consumed a; its conflicting probe for b must
+	// have been resolved by stall/abort rather than forwarding twice.
+	if stats.SpecRespsConsumed >= 2 && stats.Aborts == 0 && stats.DecNack == 0 {
+		t.Fatalf("LEVC formed an unrestricted chain: %+v", stats)
+	}
+}
+
+// multiConsumerWL: two transactions consume the same line from one
+// producer; commits serialize through the usual coherence protocol
+// (Section III-A "multiple consumers").
+type multiConsumerWL struct {
+	a mem.Addr
+}
+
+func (w *multiConsumerWL) Name() string { return "multi-consumer" }
+func (w *multiConsumerWL) Setup(wd *World, threads int) {
+	w.a = wd.Alloc.LineAligned(1)
+}
+func (w *multiConsumerWL) Thread(ctx Ctx, tid int) {
+	switch tid {
+	case 0:
+		ctx.Atomic(func(tx Tx) {
+			tx.Store(w.a, 5)
+			tx.Work(3000)
+		})
+	case 1, 2:
+		ctx.Work(uint64(300 * tid))
+		ctx.Atomic(func(tx Tx) {
+			_ = tx.Load(w.a)
+			tx.Work(800)
+		})
+	}
+}
+func (w *multiConsumerWL) Check(wd *World) error {
+	if v := wd.Mem.ReadWord(w.a); v != 5 {
+		return fmt.Errorf("a = %d, want 5", v)
+	}
+	return nil
+}
+
+func TestMultipleConsumers(t *testing.T) {
+	stats := runWL(t, core.KindCHATS, &multiConsumerWL{}, testCfg())
+	if stats.SpecRespsConsumed < 2 {
+		t.Skipf("only %d consumers formed; scenario inconclusive", stats.SpecRespsConsumed)
+	}
+	if stats.Commits != 3 && stats.Aborts == 0 {
+		t.Fatalf("unexpected outcome: %+v", stats)
+	}
+}

@@ -1,0 +1,70 @@
+package machine
+
+import (
+	"testing"
+
+	"chats/internal/core"
+)
+
+// TestSoakAllSystems runs the contended bank workload across several
+// seeds and every system: every run must terminate, conserve money (the
+// workload's Check), and leave no speculative state behind (the machine
+// panics otherwise). This is the broad-spectrum race hunt.
+func TestSoakAllSystems(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	for seed := uint64(1); seed <= 5; seed++ {
+		for _, kind := range core.Kinds() {
+			seed, kind := seed, kind
+			t.Run(string(kind), func(t *testing.T) {
+				t.Parallel()
+				cfg := testCfg()
+				cfg.Seed = seed
+				runWL(t, kind, &bankWL{accounts: 12, iters: 60}, cfg)
+			})
+		}
+	}
+}
+
+// TestSoakMixedPatterns drives each system through the three conflict
+// archetypes back to back (RMW hotspot, migratory write-once, long
+// reader/writer mix) with tight cache pressure.
+func TestSoakMixedPatterns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	mks := []func() Workload{
+		func() Workload { return &counterWL{iters: 40} },
+		func() Workload { return &migratoryWL{slots: 6, iters: 40} },
+		func() Workload { return &bankWL{accounts: 48, iters: 50} },
+	}
+	for _, kind := range core.Kinds() {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			t.Parallel()
+			for _, mk := range mks {
+				runWL(t, kind, mk(), testCfg())
+			}
+		})
+	}
+}
+
+// TestSoakSmallCache repeats the mix with a tiny L1 so evictions,
+// writeback races and capacity aborts interleave with forwarding.
+func TestSoakSmallCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	for _, kind := range core.Kinds() {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			t.Parallel()
+			cfg := testCfg()
+			cfg.L1Size = 4 * 1024 // 4 KiB, 64 lines
+			cfg.L1Ways = 4
+			runWL(t, kind, &bankWL{accounts: 64, iters: 50}, cfg)
+			runWL(t, kind, &migratoryWL{slots: 8, iters: 30}, cfg)
+		})
+	}
+}

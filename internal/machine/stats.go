@@ -1,0 +1,60 @@
+package machine
+
+import "chats/internal/htm"
+
+// RunStats aggregates everything the paper's figures report about one
+// simulation run.
+type RunStats struct {
+	System    string
+	Workload  string
+	Cycles    uint64 // execution time (Figs. 1, 4, 8, 9, 10, 11)
+	Commits   uint64 // committed transactions
+	Aborts    uint64 // aborted transaction attempts (Fig. 5)
+	ByCause   [htm.NumCauses]uint64
+	Fallbacks uint64 // global-lock acquisitions
+	PowerAcqs uint64 // power-token acquisitions
+
+	// Fig. 6: executed transactions that conflicted / forwarded data,
+	// split by how the attempt finished.
+	ConflictedCommitted uint64
+	ConflictedAborted   uint64
+	ForwarderCommitted  uint64
+	ForwarderAborted    uint64
+	ConsumerCommitted   uint64
+	ConsumerAborted     uint64
+
+	// Forwarding machinery.
+	SpecRespsSent     uint64 // producer-side forwardings
+	SpecRespsConsumed uint64 // accepted into a VSB
+	Validations       uint64 // validation requests issued
+	ValidationsOK     uint64 // entries validated (real permissions, match)
+
+	// Fig. 7: interconnect usage.
+	Flits    uint64
+	Messages uint64
+
+	// Memory system.
+	L1Hits   uint64
+	L1Misses uint64
+	DirFwds  uint64
+	DirInvs  uint64
+
+	// Conflict-resolution breakdown (diagnostics).
+	ProbeConflicts uint64 // conflicting probes seen at responders
+	DecAbort       uint64
+	DecSpec        uint64
+	DecNack        uint64
+	SpecDropStale  uint64 // SpecResp arrived after the consumer died
+	SpecDropVSB    uint64 // SpecResp dropped: VSB full, access retried
+	SpecDropReject uint64 // consumer-side policy rejection (cycle race)
+	NackRetries    uint64
+}
+
+// AbortRate returns aborts per executed transaction attempt.
+func (s RunStats) AbortRate() float64 {
+	total := s.Commits + s.Aborts
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Aborts) / float64(total)
+}

@@ -1,0 +1,128 @@
+package machine
+
+import (
+	"fmt"
+	"io"
+
+	"chats/internal/coherence"
+	"chats/internal/htm"
+	"chats/internal/mem"
+)
+
+// Tracer receives the interesting transactional events of a run. Attach
+// one with Machine.SetTracer before Run to debug a workload or to study
+// how chains form; the zero cost path (no tracer) is a nil check.
+type Tracer interface {
+	// TxBegin: core starts attempt n (power = holds the PowerTM token).
+	TxBegin(cycle uint64, core, attempt int, power bool)
+	// TxCommit: core commits (consumed = lines validated through the VSB).
+	TxCommit(cycle uint64, core int, consumed int)
+	// TxAbort: core rolls back.
+	TxAbort(cycle uint64, core int, cause htm.AbortCause)
+	// Forward: producer answers requester with speculative data for line,
+	// placing itself at PiC pic.
+	Forward(cycle uint64, producer, requester int, line mem.Addr, pic coherence.PiC)
+	// Consume: core accepts a speculative line into its VSB at PiC pic.
+	Consume(cycle uint64, core int, line mem.Addr, pic coherence.PiC)
+	// Validate: a validation response for line (ok = entry left the VSB).
+	Validate(cycle uint64, core int, line mem.Addr, ok bool)
+	// Fallback: core takes the global-lock path.
+	Fallback(cycle uint64, core int)
+}
+
+// SetTracer attaches a tracer (nil detaches). Call before Run.
+func (m *Machine) SetTracer(t Tracer) { m.tracer = t }
+
+// WriterTracer formats events as one line each, prefixed with the cycle
+// — handy with chatsim -trace.
+type WriterTracer struct {
+	W io.Writer
+}
+
+func (t WriterTracer) TxBegin(cycle uint64, core, attempt int, power bool) {
+	suffix := ""
+	if power {
+		suffix = " [power]"
+	}
+	fmt.Fprintf(t.W, "%10d core%-2d begin attempt=%d%s\n", cycle, core, attempt, suffix)
+}
+
+func (t WriterTracer) TxCommit(cycle uint64, core int, consumed int) {
+	if consumed > 0 {
+		fmt.Fprintf(t.W, "%10d core%-2d commit (validated %d forwarded lines)\n", cycle, core, consumed)
+		return
+	}
+	fmt.Fprintf(t.W, "%10d core%-2d commit\n", cycle, core)
+}
+
+func (t WriterTracer) TxAbort(cycle uint64, core int, cause htm.AbortCause) {
+	fmt.Fprintf(t.W, "%10d core%-2d abort cause=%s\n", cycle, core, cause)
+}
+
+func (t WriterTracer) Forward(cycle uint64, producer, requester int, line mem.Addr, pic coherence.PiC) {
+	fmt.Fprintf(t.W, "%10d core%-2d forward %v to core%d (PiC=%d)\n", cycle, producer, line, requester, pic)
+}
+
+func (t WriterTracer) Consume(cycle uint64, core int, line mem.Addr, pic coherence.PiC) {
+	fmt.Fprintf(t.W, "%10d core%-2d consume %v (PiC=%d)\n", cycle, core, line, pic)
+}
+
+func (t WriterTracer) Validate(cycle uint64, core int, line mem.Addr, ok bool) {
+	state := "pending"
+	if ok {
+		state = "validated"
+	}
+	fmt.Fprintf(t.W, "%10d core%-2d validate %v: %s\n", cycle, core, line, state)
+}
+
+func (t WriterTracer) Fallback(cycle uint64, core int) {
+	fmt.Fprintf(t.W, "%10d core%-2d fallback lock\n", cycle, core)
+}
+
+// ChainTracer is a Tracer that records the forwarding graph of a run:
+// every producer→consumer edge with its cycle, usable to reconstruct the
+// chains CHATS built (and to assert acyclicity in tests).
+type ChainTracer struct {
+	Edges []ChainEdge
+}
+
+// ChainEdge is one forwarding: Consumer must commit after Producer.
+type ChainEdge struct {
+	Cycle    uint64
+	Producer int
+	Consumer int
+	Line     mem.Addr
+	PiC      coherence.PiC
+}
+
+func (t *ChainTracer) TxBegin(uint64, int, int, bool)               {}
+func (t *ChainTracer) TxCommit(uint64, int, int)                    {}
+func (t *ChainTracer) TxAbort(uint64, int, htm.AbortCause)          {}
+func (t *ChainTracer) Validate(uint64, int, mem.Addr, bool)         {}
+func (t *ChainTracer) Fallback(uint64, int)                         {}
+func (t *ChainTracer) Consume(uint64, int, mem.Addr, coherence.PiC) {}
+
+func (t *ChainTracer) Forward(cycle uint64, producer, requester int, line mem.Addr, pic coherence.PiC) {
+	t.Edges = append(t.Edges, ChainEdge{
+		Cycle: cycle, Producer: producer, Consumer: requester, Line: line, PiC: pic,
+	})
+}
+
+// MaxChainDepth estimates the longest producer chain observed: the
+// maximum number of distinct producers transitively upstream of any
+// consumer within a sliding window of edges. It is approximate (cores
+// recycle across transactions) but good enough to see chains form.
+func (t *ChainTracer) MaxChainDepth() int {
+	depth := map[int]int{}
+	max := 0
+	for _, e := range t.Edges {
+		d := depth[e.Producer] + 1
+		if d > depth[e.Consumer] {
+			depth[e.Consumer] = d
+		}
+		if depth[e.Consumer] > max {
+			max = depth[e.Consumer]
+		}
+	}
+	return max
+}

@@ -1,0 +1,85 @@
+package micro
+
+import (
+	"testing"
+
+	"chats/internal/core"
+	"chats/internal/machine"
+	"chats/internal/structures"
+)
+
+func run(t *testing.T, kind core.Kind, w machine.Workload) (*machine.World, machine.RunStats) {
+	t.Helper()
+	policy, err := core.New(kind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := machine.DefaultConfig()
+	cfg.Cores = 8
+	cfg.CycleLimit = 100_000_000
+	m, err := machine.New(cfg, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := m.Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m.World(), stats
+}
+
+func TestLLBIncrementExact(t *testing.T) {
+	for _, high := range []bool{false, true} {
+		w := NewLLB(64, 6, high)
+		world, stats := run(t, core.KindCHATS, w)
+		if stats.Commits == 0 {
+			t.Fatal("no commits")
+		}
+		// Corrupt one value: the sum check must fire.
+		d := structures.Direct{M: world.Mem}
+		v, _ := w.list.Find(d, 0)
+		w.list.Update(d, 0, v+1)
+		if err := w.Check(world); err == nil {
+			t.Fatalf("llb(high=%v) Check missed a phantom increment", high)
+		}
+	}
+}
+
+func TestLLBWindowsDisjointInLowContention(t *testing.T) {
+	w := NewLLB(64, 1, false)
+	if w.PerThread == 0 {
+		t.Fatal("low contention must have a window")
+	}
+	h := NewLLB(64, 1, true)
+	if h.PerThread != 0 {
+		t.Fatal("high contention must span the list")
+	}
+	if w.Name() != "llb-l" || h.Name() != "llb-h" {
+		t.Fatal("names wrong")
+	}
+}
+
+func TestCAddSharedCounterExact(t *testing.T) {
+	w := NewCAdd(8, 16, 5)
+	world, stats := run(t, core.KindCHATS, w)
+	if err := w.Check(world); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Commits == 0 {
+		t.Fatal("no commits")
+	}
+	world.Mem.WriteWord(w.shared, world.Mem.ReadWord(w.shared)-1)
+	if err := w.Check(world); err == nil {
+		t.Fatal("cadd Check missed a lost increment")
+	}
+}
+
+// cadd is the chained-add pattern: under CHATS the hot variable should
+// actually be forwarded between transactions.
+func TestCAddChainsUnderCHATS(t *testing.T) {
+	w := NewCAdd(4, 32, 8)
+	_, stats := run(t, core.KindCHATS, w)
+	if stats.SpecRespsConsumed == 0 {
+		t.Fatal("cadd produced no forwarding under CHATS")
+	}
+}

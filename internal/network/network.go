@@ -1,0 +1,56 @@
+// Package network models the on-chip interconnect from Table I: a
+// crossbar with 1-cycle links, 16-byte flits, 1 flit/cycle of link
+// bandwidth, 1-flit control messages and 5-flit data messages. The model
+// charges each message its serialization latency and counts flits, which
+// is what Fig. 7 (normalized network usage in flits) needs; crossbars are
+// non-blocking, so port contention is not modelled.
+package network
+
+import "chats/internal/sim"
+
+// Flit sizes per message class (Table I).
+const (
+	ControlFlits = 1
+	DataFlits    = 5
+)
+
+// Stats aggregates interconnect usage.
+type Stats struct {
+	Messages    uint64
+	Flits       uint64
+	ControlMsgs uint64
+	DataMsgs    uint64
+}
+
+// Network delivers messages between nodes after a latency of
+// linkLatency + flits cycles (one cycle per flit of serialization).
+type Network struct {
+	eng         *sim.Engine
+	linkLatency uint64
+	Stats       Stats
+}
+
+// New builds a crossbar attached to the engine.
+func New(eng *sim.Engine, linkLatency uint64) *Network {
+	return &Network{eng: eng, linkLatency: linkLatency}
+}
+
+// SendControl delivers a 1-flit message (requests, acks, nacks,
+// cancellations) and invokes deliver at the destination.
+func (n *Network) SendControl(deliver func()) {
+	n.send(ControlFlits, deliver)
+	n.Stats.ControlMsgs++
+}
+
+// SendData delivers a 5-flit message (any message carrying a cache line:
+// data responses, SpecResp, writebacks).
+func (n *Network) SendData(deliver func()) {
+	n.send(DataFlits, deliver)
+	n.Stats.DataMsgs++
+}
+
+func (n *Network) send(flits uint64, deliver func()) {
+	n.Stats.Messages++
+	n.Stats.Flits += flits
+	n.eng.Schedule(n.linkLatency+flits, deliver)
+}

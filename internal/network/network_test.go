@@ -1,0 +1,56 @@
+package network
+
+import (
+	"testing"
+
+	"chats/internal/sim"
+)
+
+func TestLatencies(t *testing.T) {
+	var e sim.Engine
+	n := New(&e, 1)
+	var ctrlAt, dataAt uint64
+	n.SendControl(func() { ctrlAt = e.Now() })
+	n.SendData(func() { dataAt = e.Now() })
+	e.Run(0)
+	if ctrlAt != 1+ControlFlits {
+		t.Fatalf("control delivered at %d, want %d", ctrlAt, 1+ControlFlits)
+	}
+	if dataAt != 1+DataFlits {
+		t.Fatalf("data delivered at %d, want %d", dataAt, 1+DataFlits)
+	}
+}
+
+func TestFlitAccounting(t *testing.T) {
+	var e sim.Engine
+	n := New(&e, 1)
+	for i := 0; i < 3; i++ {
+		n.SendControl(func() {})
+	}
+	for i := 0; i < 2; i++ {
+		n.SendData(func() {})
+	}
+	e.Run(0)
+	if n.Stats.Messages != 5 {
+		t.Fatalf("messages = %d", n.Stats.Messages)
+	}
+	if want := uint64(3*ControlFlits + 2*DataFlits); n.Stats.Flits != want {
+		t.Fatalf("flits = %d, want %d", n.Stats.Flits, want)
+	}
+	if n.Stats.ControlMsgs != 3 || n.Stats.DataMsgs != 2 {
+		t.Fatalf("msg split = %d/%d", n.Stats.ControlMsgs, n.Stats.DataMsgs)
+	}
+}
+
+func TestOrderingSameSource(t *testing.T) {
+	// Two control messages sent back to back arrive in send order.
+	var e sim.Engine
+	n := New(&e, 1)
+	var got []int
+	n.SendControl(func() { got = append(got, 1) })
+	n.SendControl(func() { got = append(got, 2) })
+	e.Run(0)
+	if len(got) != 2 || got[0] != 1 {
+		t.Fatalf("order = %v", got)
+	}
+}

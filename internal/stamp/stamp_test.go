@@ -1,0 +1,130 @@
+package stamp
+
+import (
+	"strings"
+	"testing"
+
+	"chats/internal/core"
+	"chats/internal/machine"
+	"chats/internal/mem"
+)
+
+// run executes a workload on a small CHATS machine and returns the world
+// for post-mortem inspection.
+func run(t *testing.T, w machine.Workload) (*machine.World, machine.RunStats) {
+	t.Helper()
+	policy, err := core.New(core.KindCHATS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := machine.DefaultConfig()
+	cfg.Cores = 8
+	cfg.CycleLimit = 100_000_000
+	m, err := machine.New(cfg, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := m.Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m.World(), stats
+}
+
+func TestKMeansCheckDetectsLostUpdate(t *testing.T) {
+	w := NewKMeans(8, 10, true)
+	world, _ := run(t, w)
+	// Corrupt a center count: Check must notice.
+	a := w.center(0)
+	world.Mem.WriteWord(a, world.Mem.ReadWord(a)+1)
+	if err := w.Check(world); err == nil || !strings.Contains(err.Error(), "sum") {
+		t.Fatalf("Check missed the corruption: %v", err)
+	}
+}
+
+func TestGenomeCheckDetectsOrphanLink(t *testing.T) {
+	w := NewGenome(32, 4, 8)
+	world, _ := run(t, w)
+	// Find an unclaimed segment and forge a link for it.
+	for i := 0; i < w.Segments; i++ {
+		if world.Mem.ReadWord(w.claim(i)) == 0 {
+			world.Mem.WriteWord(w.link(i), 5)
+			if err := w.Check(world); err == nil {
+				t.Fatal("Check missed the orphan link")
+			}
+			return
+		}
+	}
+	t.Skip("every segment claimed; cannot forge an orphan")
+}
+
+func TestIntruderCheckDetectsLoss(t *testing.T) {
+	w := NewIntruder(24)
+	world, _ := run(t, w)
+	// Steal a result: Check must notice the count mismatch.
+	world.Mem.WriteWord(w.outQ.HeadAddr(), world.Mem.ReadWord(w.outQ.HeadAddr())+1)
+	if err := w.Check(world); err == nil {
+		t.Fatal("Check missed the stolen result")
+	}
+}
+
+func TestSSCA2DegreeConservation(t *testing.T) {
+	w := NewSSCA2(128, 8)
+	world, stats := run(t, w)
+	if stats.Aborts > stats.Commits/2 {
+		t.Fatalf("ssca2 should be low contention: %d aborts / %d commits", stats.Aborts, stats.Commits)
+	}
+	world.Mem.WriteWord(w.node(0), world.Mem.ReadWord(w.node(0))+1)
+	if err := w.Check(world); err == nil {
+		t.Fatal("Check missed the degree corruption")
+	}
+}
+
+func TestVacationConservation(t *testing.T) {
+	w := NewVacation(128, 3)
+	world, _ := run(t, w)
+	world.Mem.WriteWord(w.slot(0), world.Mem.ReadWord(w.slot(0))+1)
+	if err := w.Check(world); err == nil {
+		t.Fatal("Check missed the booking corruption")
+	}
+}
+
+func TestLabyrinthPathsAreConnected(t *testing.T) {
+	w := NewLabyrinth(16, 2)
+	world, _ := run(t, w)
+	if err := w.Check(world); err != nil {
+		t.Fatal(err)
+	}
+	// An impossible owner id must be rejected.
+	world.Mem.WriteWord(w.cell(0, 0), 99)
+	if err := w.Check(world); err == nil {
+		t.Fatal("Check missed the impossible owner")
+	}
+}
+
+func TestYadaRefinementConservation(t *testing.T) {
+	w := NewYada(64, 3)
+	world, _ := run(t, w)
+	world.Mem.WriteWord(w.tri(0), world.Mem.ReadWord(w.tri(0))+1)
+	if err := w.Check(world); err == nil {
+		t.Fatal("Check missed the refinement corruption")
+	}
+}
+
+func TestKMeansCenterAddressing(t *testing.T) {
+	w := NewKMeans(4, 1, false)
+	var world machine.World
+	world.Mem = mem.NewMemory()
+	world.Alloc = mem.NewAllocator(0x100)
+	w.Setup(&world, 4)
+	// Centers must not share lines (count word + dims fit the stride).
+	for c := 0; c < 4; c++ {
+		a := w.center(c)
+		if uint64(a)%mem.LineSize != 0 {
+			t.Fatalf("center %d not line aligned: %v", c, a)
+		}
+		if c > 0 && a == w.center(c-1) {
+			t.Fatal("centers overlap")
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package structures
+
+import "chats/internal/mem"
+
+// HashSet is a fixed-size chained hash table in simulated memory, built
+// from per-bucket sorted lists. It is the genome/intruder-style shared
+// dictionary: conflicts concentrate on hot buckets.
+type HashSet struct {
+	buckets []List
+	mask    uint64
+}
+
+// NewHashSet allocates nBuckets (a power of two) empty buckets, each
+// header on its own line to keep bucket conflicts independent.
+func NewHashSet(al *mem.Allocator, nBuckets int) *HashSet {
+	if nBuckets <= 0 || nBuckets&(nBuckets-1) != 0 {
+		panic("structures: bucket count must be a power of two")
+	}
+	h := &HashSet{mask: uint64(nBuckets - 1)}
+	for i := 0; i < nBuckets; i++ {
+		h.buckets = append(h.buckets, List{Head: al.LineAligned(1)})
+	}
+	return h
+}
+
+func mix(k uint64) uint64 {
+	k ^= k >> 33
+	k *= 0xff51afd7ed558ccd
+	k ^= k >> 33
+	return k
+}
+
+func (h *HashSet) bucket(key uint64) *List {
+	return &h.buckets[mix(key)&h.mask]
+}
+
+// Insert adds key→val; false if already present (node unused).
+func (h *HashSet) Insert(m Mem, node mem.Addr, key, val uint64) bool {
+	return h.bucket(key).Insert(m, node, key, val)
+}
+
+// Find looks key up.
+func (h *HashSet) Find(m Mem, key uint64) (uint64, bool) {
+	return h.bucket(key).Find(m, key)
+}
+
+// Update overwrites an existing key's value.
+func (h *HashSet) Update(m Mem, key, val uint64) bool {
+	return h.bucket(key).Update(m, key, val)
+}
+
+// Remove deletes key.
+func (h *HashSet) Remove(m Mem, key uint64) (uint64, bool) {
+	return h.bucket(key).Remove(m, key)
+}
+
+// Len counts all entries (setup/check use).
+func (h *HashSet) Len(m Mem) int {
+	n := 0
+	for i := range h.buckets {
+		n += h.buckets[i].Len(m)
+	}
+	return n
+}

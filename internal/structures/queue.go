@@ -1,0 +1,87 @@
+package structures
+
+import "chats/internal/mem"
+
+// Queue is a bounded FIFO ring buffer in simulated memory — the intruder
+// packet queue. Head and tail live on separate lines (the paper's
+// "capture" phase contends on the head pointer: a time gap between
+// reading and modifying it lets multiple transactions read it
+// simultaneously, the starving-writer pathology of Section VII).
+type Queue struct {
+	head    mem.Addr // consumer cursor
+	tail    mem.Addr // producer cursor
+	storage mem.Addr
+	cap     uint64
+}
+
+// NewQueue allocates a queue with capacity entries.
+func NewQueue(al *mem.Allocator, capacity int) *Queue {
+	if capacity <= 0 {
+		panic("structures: queue capacity must be positive")
+	}
+	q := &Queue{
+		head: al.LineAligned(1),
+		tail: al.LineAligned(1),
+		cap:  uint64(capacity),
+	}
+	words := (capacity*mem.WordSize + mem.LineSize - 1) / mem.LineSize * mem.WordsPerLine
+	q.storage = al.LineAligned(words)
+	return q
+}
+
+func (q *Queue) slot(i uint64) mem.Addr {
+	return q.storage.Plus(int(i % q.cap))
+}
+
+// Push appends v; false when full.
+func (q *Queue) Push(m Mem, v uint64) bool {
+	t := m.Load(q.tail)
+	h := m.Load(q.head)
+	if t-h >= q.cap {
+		return false
+	}
+	m.Store(q.slot(t), v)
+	m.Store(q.tail, t+1)
+	return true
+}
+
+// Pop removes the oldest element; false when empty.
+func (q *Queue) Pop(m Mem) (uint64, bool) {
+	h := m.Load(q.head)
+	t := m.Load(q.tail)
+	if h == t {
+		return 0, false
+	}
+	v := m.Load(q.slot(h))
+	m.Store(q.head, h+1)
+	return v, true
+}
+
+// PopGap is Pop with a compute gap between reading the element and
+// advancing the head — the intruder "capture" access pattern where the
+// pointer is read by several transactions before any of them commits the
+// update.
+func (q *Queue) PopGap(m Mem, gap func()) (uint64, bool) {
+	h := m.Load(q.head)
+	t := m.Load(q.tail)
+	if h == t {
+		return 0, false
+	}
+	v := m.Load(q.slot(h))
+	if gap != nil {
+		gap()
+	}
+	m.Store(q.head, h+1)
+	return v, true
+}
+
+// Len returns the number of queued elements.
+func (q *Queue) Len(m Mem) int {
+	return int(m.Load(q.tail) - m.Load(q.head))
+}
+
+// HeadAddr exposes the head-cursor address (tests and diagnostics).
+func (q *Queue) HeadAddr() mem.Addr { return q.head }
+
+// TailAddr exposes the tail-cursor address (tests and diagnostics).
+func (q *Queue) TailAddr() mem.Addr { return q.tail }

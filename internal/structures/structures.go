@@ -1,0 +1,63 @@
+// Package structures provides transactional data structures laid out in
+// simulated memory: a sorted linked list, a hash set, a treap (randomized
+// BST whose rotations create the parent-path write conflicts of a
+// rebalancing tree) and a FIFO queue. Every access goes through the Mem
+// interface, so the same code runs inside hardware transactions (via
+// machine.Tx), non-transactionally (via machine.Ctx), or directly against
+// the backing memory during workload setup.
+package structures
+
+import "chats/internal/mem"
+
+// Mem is a word-addressed memory accessor. machine.Tx and machine.Ctx
+// satisfy it; Direct adapts the raw backing store for setup code.
+type Mem interface {
+	Load(a mem.Addr) uint64
+	Store(a mem.Addr, v uint64)
+}
+
+// Direct accesses the backing memory outside simulated time (setup and
+// checking only).
+type Direct struct {
+	M *mem.Memory
+}
+
+// Load reads a committed word.
+func (d Direct) Load(a mem.Addr) uint64 { return d.M.ReadWord(a) }
+
+// Store writes a committed word.
+func (d Direct) Store(a mem.Addr, v uint64) { d.M.WriteWord(a, v) }
+
+// Pool is a per-thread free list of pre-allocated records, so structure
+// code can "allocate" nodes inside transactions without a shared
+// allocator (which would itself be a contention hotspot). Get may be
+// re-executed by an aborted transaction; the skipped node leaks, which is
+// how real transactional allocators behave between checkpoints.
+type Pool struct {
+	nodes []mem.Addr
+	next  int
+}
+
+// NewPool carves n records of nWords each (line-aligned to avoid false
+// sharing) out of the allocator.
+func NewPool(al *mem.Allocator, n, nWords int) *Pool {
+	p := &Pool{nodes: make([]mem.Addr, n)}
+	for i := range p.nodes {
+		p.nodes[i] = al.LineAligned(nWords)
+	}
+	return p
+}
+
+// Get returns the next free record. It panics if the pool is exhausted —
+// size pools for the worst case; workloads are finite.
+func (p *Pool) Get() mem.Addr {
+	if p.next >= len(p.nodes) {
+		panic("structures: node pool exhausted")
+	}
+	a := p.nodes[p.next]
+	p.next++
+	return a
+}
+
+// Remaining returns how many records are left.
+func (p *Pool) Remaining() int { return len(p.nodes) - p.next }

@@ -1,0 +1,311 @@
+package structures
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"chats/internal/mem"
+	"chats/internal/sim"
+)
+
+func testMem() (Direct, *mem.Allocator) {
+	return Direct{M: mem.NewMemory()}, mem.NewAllocator(0x1000)
+}
+
+func TestListBasic(t *testing.T) {
+	m, al := testMem()
+	pool := NewPool(al, 16, ListNodeWords)
+	l := NewList(al)
+	for _, k := range []uint64{5, 1, 9, 3} {
+		if !l.Insert(m, pool.Get(), k, k*10) {
+			t.Fatalf("insert %d failed", k)
+		}
+	}
+	if l.Insert(m, pool.Get(), 5, 0) {
+		t.Fatal("duplicate insert succeeded")
+	}
+	ks := l.Keys(m)
+	want := []uint64{1, 3, 5, 9}
+	for i := range want {
+		if ks[i] != want[i] {
+			t.Fatalf("keys = %v", ks)
+		}
+	}
+	if v, ok := l.Find(m, 9); !ok || v != 90 {
+		t.Fatalf("find 9 = %d %v", v, ok)
+	}
+	if _, ok := l.Find(m, 4); ok {
+		t.Fatal("phantom find")
+	}
+	if !l.Update(m, 3, 99) {
+		t.Fatal("update failed")
+	}
+	if v, _ := l.Find(m, 3); v != 99 {
+		t.Fatal("update not visible")
+	}
+	if v, ok := l.Remove(m, 5); !ok || v != 50 {
+		t.Fatalf("remove = %d %v", v, ok)
+	}
+	if _, ok := l.Remove(m, 5); ok {
+		t.Fatal("double remove")
+	}
+	if l.Len(m) != 3 {
+		t.Fatalf("len = %d", l.Len(m))
+	}
+}
+
+// Property: the list agrees with a map model under random ops.
+func TestListModel(t *testing.T) {
+	f := func(ops []uint16) bool {
+		m, al := testMem()
+		pool := NewPool(al, len(ops)+1, ListNodeWords)
+		l := NewList(al)
+		model := map[uint64]uint64{}
+		for i, op := range ops {
+			key := uint64(op % 32)
+			val := uint64(i)
+			switch op % 3 {
+			case 0:
+				_, exists := model[key]
+				if l.Insert(m, pool.Get(), key, val) == exists {
+					return false
+				}
+				if !exists {
+					model[key] = val
+				}
+			case 1:
+				v, ok := l.Find(m, key)
+				mv, mok := model[key]
+				if ok != mok || (ok && v != mv) {
+					return false
+				}
+			case 2:
+				v, ok := l.Remove(m, key)
+				mv, mok := model[key]
+				if ok != mok || (ok && v != mv) {
+					return false
+				}
+				delete(model, key)
+			}
+		}
+		if l.Len(m) != len(model) {
+			return false
+		}
+		ks := l.Keys(m)
+		return sort.SliceIsSorted(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashSetBasic(t *testing.T) {
+	m, al := testMem()
+	pool := NewPool(al, 128, ListNodeWords)
+	h := NewHashSet(al, 16)
+	for i := uint64(0); i < 100; i++ {
+		if !h.Insert(m, pool.Get(), i, i*2) {
+			t.Fatalf("insert %d", i)
+		}
+	}
+	if h.Insert(m, pool.Get(), 50, 0) {
+		t.Fatal("duplicate accepted")
+	}
+	if h.Len(m) != 100 {
+		t.Fatalf("len = %d", h.Len(m))
+	}
+	for i := uint64(0); i < 100; i++ {
+		if v, ok := h.Find(m, i); !ok || v != i*2 {
+			t.Fatalf("find %d = %d %v", i, v, ok)
+		}
+	}
+	if _, ok := h.Find(m, 1000); ok {
+		t.Fatal("phantom")
+	}
+	if v, ok := h.Remove(m, 42); !ok || v != 84 {
+		t.Fatal("remove")
+	}
+	if h.Len(m) != 99 {
+		t.Fatal("len after remove")
+	}
+	if !h.Update(m, 10, 7) {
+		t.Fatal("update")
+	}
+	if v, _ := h.Find(m, 10); v != 7 {
+		t.Fatal("update not visible")
+	}
+}
+
+func TestHashSetBadBuckets(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	_, al := testMem()
+	NewHashSet(al, 10)
+}
+
+func TestTreapBasic(t *testing.T) {
+	m, al := testMem()
+	pool := NewPool(al, 256, TreapNodeWords)
+	tr := NewTreap(al)
+	r := sim.NewRand(3)
+	keys := r.Perm(200)
+	for _, k := range keys {
+		if !tr.Insert(m, pool.Get(), uint64(k)+1, uint64(k*3), r.Uint64()) {
+			t.Fatalf("insert %d", k)
+		}
+	}
+	if tr.Insert(m, pool.Get(), 5, 0, 1) {
+		t.Fatal("duplicate accepted")
+	}
+	if tr.Size(m) != 200 {
+		t.Fatalf("size = %d", tr.Size(m))
+	}
+	if !tr.CheckInvariants(m) {
+		t.Fatal("treap invariants broken after inserts")
+	}
+	for _, k := range keys {
+		if v, ok := tr.Find(m, uint64(k)+1); !ok || v != uint64(k*3) {
+			t.Fatalf("find %d = %d %v", k, v, ok)
+		}
+	}
+	// Remove half.
+	for _, k := range keys[:100] {
+		if v, ok := tr.Remove(m, uint64(k)+1); !ok || v != uint64(k*3) {
+			t.Fatalf("remove %d = %d %v", k, v, ok)
+		}
+	}
+	if tr.Size(m) != 100 {
+		t.Fatalf("size after removes = %d", tr.Size(m))
+	}
+	if !tr.CheckInvariants(m) {
+		t.Fatal("treap invariants broken after removes")
+	}
+	for _, k := range keys[:100] {
+		if _, ok := tr.Find(m, uint64(k)+1); ok {
+			t.Fatalf("removed key %d still present", k)
+		}
+	}
+	for _, k := range keys[100:] {
+		if _, ok := tr.Find(m, uint64(k)+1); !ok {
+			t.Fatalf("surviving key %d lost", k)
+		}
+	}
+}
+
+// Property: treap matches a map model and keeps its invariants.
+func TestTreapModel(t *testing.T) {
+	f := func(ops []uint16, seed uint64) bool {
+		m, al := testMem()
+		pool := NewPool(al, len(ops)+1, TreapNodeWords)
+		tr := NewTreap(al)
+		r := sim.NewRand(seed)
+		model := map[uint64]uint64{}
+		for i, op := range ops {
+			key := uint64(op%64) + 1
+			val := uint64(i)
+			switch op % 3 {
+			case 0:
+				_, exists := model[key]
+				if tr.Insert(m, pool.Get(), key, val, r.Uint64()) == exists {
+					return false
+				}
+				if !exists {
+					model[key] = val
+				}
+			case 1:
+				v, ok := tr.Find(m, key)
+				mv, mok := model[key]
+				if ok != mok || (ok && v != mv) {
+					return false
+				}
+			case 2:
+				v, ok := tr.Remove(m, key)
+				mv, mok := model[key]
+				if ok != mok || (ok && v != mv) {
+					return false
+				}
+				delete(model, key)
+			}
+		}
+		return tr.Size(m) == len(model) && tr.CheckInvariants(m)
+	}
+	cfg := &quick.Config{MaxCount: 60}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueueBasic(t *testing.T) {
+	m, al := testMem()
+	q := NewQueue(al, 4)
+	if _, ok := q.Pop(m); ok {
+		t.Fatal("pop from empty")
+	}
+	for i := uint64(1); i <= 4; i++ {
+		if !q.Push(m, i) {
+			t.Fatalf("push %d", i)
+		}
+	}
+	if q.Push(m, 5) {
+		t.Fatal("push to full")
+	}
+	if q.Len(m) != 4 {
+		t.Fatalf("len = %d", q.Len(m))
+	}
+	for i := uint64(1); i <= 4; i++ {
+		v, ok := q.Pop(m)
+		if !ok || v != i {
+			t.Fatalf("pop = %d %v, want %d", v, ok, i)
+		}
+	}
+	// Wrap-around.
+	for round := 0; round < 3; round++ {
+		for i := uint64(0); i < 3; i++ {
+			q.Push(m, i+uint64(round)*10)
+		}
+		for i := uint64(0); i < 3; i++ {
+			v, ok := q.Pop(m)
+			if !ok || v != i+uint64(round)*10 {
+				t.Fatalf("wrap pop = %d %v", v, ok)
+			}
+		}
+	}
+}
+
+func TestQueuePopGap(t *testing.T) {
+	m, al := testMem()
+	q := NewQueue(al, 8)
+	q.Push(m, 42)
+	called := false
+	v, ok := q.PopGap(m, func() { called = true })
+	if !ok || v != 42 || !called {
+		t.Fatal("PopGap broken")
+	}
+	if _, ok := q.PopGap(m, nil); ok {
+		t.Fatal("PopGap from empty")
+	}
+}
+
+func TestPool(t *testing.T) {
+	_, al := testMem()
+	p := NewPool(al, 3, 5)
+	a := p.Get()
+	b := p.Get()
+	if a == b || a == 0 || uint64(a)%mem.LineSize != 0 {
+		t.Fatal("pool records wrong")
+	}
+	if p.Remaining() != 1 {
+		t.Fatal("remaining wrong")
+	}
+	p.Get()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected exhaustion panic")
+		}
+	}()
+	p.Get()
+}

@@ -1,0 +1,88 @@
+package workloads
+
+import (
+	"testing"
+
+	"chats/internal/core"
+	"chats/internal/machine"
+)
+
+// Every workload must run to completion and pass its own Check on every
+// system at Tiny size — the end-to-end correctness matrix.
+func TestAllWorkloadsAllSystems(t *testing.T) {
+	for _, name := range AllNames() {
+		for _, kind := range core.Kinds() {
+			name, kind := name, kind
+			t.Run(name+"/"+string(kind), func(t *testing.T) {
+				t.Parallel()
+				w, err := New(name, Tiny)
+				if err != nil {
+					t.Fatal(err)
+				}
+				policy, err := core.New(kind)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg := machine.DefaultConfig()
+				cfg.CycleLimit = 200_000_000
+				m, err := machine.New(cfg, policy)
+				if err != nil {
+					t.Fatal(err)
+				}
+				stats, err := m.Run(w)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if stats.Commits == 0 {
+					t.Fatal("no transactions committed")
+				}
+			})
+		}
+	}
+}
+
+func TestRegistryNames(t *testing.T) {
+	if len(AllNames()) != 11 {
+		t.Fatalf("expected 11 benchmarks, got %d", len(AllNames()))
+	}
+	for _, n := range AllNames() {
+		if _, err := New(n, Tiny); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := New("nope", Tiny); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	if len(Names()) != 11 {
+		t.Fatal("Names() size mismatch")
+	}
+	for _, s := range []string{"tiny", "small", "medium"} {
+		sz, err := ParseSize(s)
+		if err != nil || sz.String() != s {
+			t.Fatalf("ParseSize(%q) = %v, %v", s, sz, err)
+		}
+	}
+	if _, err := ParseSize("huge"); err == nil {
+		t.Fatal("bad size accepted")
+	}
+}
+
+// Workload results must be deterministic across runs for a fixed seed.
+func TestWorkloadDeterminism(t *testing.T) {
+	run := func() machine.RunStats {
+		w, _ := New("intruder", Tiny)
+		policy, _ := core.New(core.KindCHATS)
+		cfg := machine.DefaultConfig()
+		cfg.CycleLimit = 200_000_000
+		m, _ := machine.New(cfg, policy)
+		stats, err := m.Run(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("nondeterministic run:\n%+v\n%+v", a, b)
+	}
+}
