@@ -70,6 +70,11 @@ type (
 	Traits = htm.Traits
 	// MachineConfig are the Table I machine parameters.
 	MachineConfig = machine.Config
+	// Tracer observes the transactional event stream of a run (see
+	// machine.Tracer; telemetry.New builds a collecting implementation).
+	Tracer = machine.Tracer
+	// MultiTracer fans events out to several tracers at once.
+	MultiTracer = machine.MultiTracer
 )
 
 // Config selects the machine, the HTM system and optional trait
@@ -105,11 +110,22 @@ func Run(cfg Config, w Workload) (Stats, error) {
 // RunTraced is Run with a per-event transactional trace (begins,
 // commits, aborts, forwardings, validations) written to out.
 func RunTraced(cfg Config, w Workload, out io.Writer) (Stats, error) {
+	return RunWithTracer(cfg, w, machine.WriterTracer{W: out})
+}
+
+// WriterTracer returns a Tracer that formats every event as one line on
+// w (what chatsim -trace and RunTraced attach).
+func WriterTracer(w io.Writer) Tracer { return machine.WriterTracer{W: w} }
+
+// RunWithTracer is Run with an arbitrary tracer attached — a
+// machine.WriterTracer, a telemetry.Collector, or several at once via a
+// MultiTracer. The tracer observes every transactional event of the run.
+func RunWithTracer(cfg Config, w Workload, t Tracer) (Stats, error) {
 	m, err := build(cfg)
 	if err != nil {
 		return Stats{}, err
 	}
-	m.SetTracer(machine.WriterTracer{W: out})
+	m.SetTracer(t)
 	return m.Run(w)
 }
 

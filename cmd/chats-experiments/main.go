@@ -14,9 +14,11 @@ import (
 	"path/filepath"
 	"strings"
 
+	"chats"
 	"chats/internal/experiments"
 	"chats/internal/machine"
 	"chats/internal/stats"
+	"chats/internal/telemetry"
 	"chats/internal/workloads"
 )
 
@@ -28,12 +30,20 @@ func main() {
 		seeds   = flag.Int("seeds", 1, "seeds to average each cell over")
 		verbose = flag.Bool("v", false, "print a line per simulation")
 		csvDir  = flag.String("csv", "", "also write each table as CSV into this directory")
+		profile = flag.String("profile", "", "instead of figures, profile one benchmark under telemetry (hot lines, chain topology, metrics)")
+		profSys = flag.String("profile-system", "chats", "system to profile with -profile")
 	)
 	flag.Parse()
 
 	sz, err := workloads.ParseSize(*size)
 	if err != nil {
 		fatal(err)
+	}
+	if *profile != "" {
+		if err := runProfile(*profile, *profSys, sz, *seed); err != nil {
+			fatal(err)
+		}
+		return
 	}
 	p := experiments.Params{Size: sz, Machine: machine.DefaultConfig(), Seeds: *seeds}
 	p.Machine.Seed = *seed
@@ -126,6 +136,34 @@ func main() {
 		show(suite.Fig11())
 	}
 	fmt.Fprintf(os.Stderr, "total simulations: %d\n", suite.Runs)
+}
+
+// runProfile executes one (system, benchmark) cell with the telemetry
+// collector attached and prints the attribution reports — the drill-down
+// companion to the aggregate figure tables.
+func runProfile(bench, system string, sz workloads.Size, seed uint64) error {
+	k, err := chats.ParseSystem(system)
+	if err != nil {
+		return err
+	}
+	w, err := workloads.New(bench, sz)
+	if err != nil {
+		return err
+	}
+	cfg := chats.DefaultConfig()
+	cfg.System = k
+	cfg.Machine.Seed = seed
+	col := telemetry.New(cfg.Machine.Cores, telemetry.Options{})
+	st, err := chats.RunWithTracer(cfg, w, col)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("profile: %s on %s (%s size, seed %d): %d cycles, %d commits, %d aborts\n\n",
+		st.System, st.Workload, sz, seed, st.Cycles, st.Commits, st.Aborts)
+	col.WriteHotLineReport(os.Stdout, 10)
+	col.Chain().Fprint(os.Stdout)
+	col.Reg.Fprint(os.Stdout)
+	return nil
 }
 
 func fatal(err error) {

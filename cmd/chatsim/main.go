@@ -4,6 +4,8 @@
 // Usage:
 //
 //	chatsim -system chats -bench kmeans-h -size medium
+//	chatsim -trace-chrome out.json -bench kmeans-h   # load in Perfetto
+//	chatsim -hot-lines 8 -chain -metrics -bench cadd
 //	chatsim -dump-config     # Table I
 //	chatsim -dump-systems    # Table II
 //	chatsim -list            # available benchmarks and systems
@@ -13,12 +15,14 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"chats"
 	"chats/internal/experiments"
 	"chats/internal/htm"
+	"chats/internal/telemetry"
 	"chats/internal/workloads"
 )
 
@@ -33,6 +37,12 @@ func main() {
 		vsb         = flag.Int("vsb", -1, "override VSB size (-1 = default)")
 		valInterval = flag.Int("validation", -1, "override validation interval (-1 = default)")
 		trace       = flag.Bool("trace", false, "print a per-event transactional trace to stderr")
+		traceJSON   = flag.String("trace-json", "", "write the event stream as JSON Lines to this file")
+		traceChrome = flag.String("trace-chrome", "", "write a Chrome trace_event file (open in Perfetto / chrome://tracing)")
+		hotLines    = flag.Int("hot-lines", 0, "print the top-K contended cache lines (0 = off)")
+		chainRep    = flag.Bool("chain", false, "print the chain-topology report")
+		metrics     = flag.Bool("metrics", false, "print telemetry histograms and cycle-windowed series")
+		window      = flag.Uint64("window", 10_000, "cycle window for the telemetry time series")
 		jsonOut     = flag.Bool("json", false, "print statistics as JSON")
 		dumpConfig  = flag.Bool("dump-config", false, "print Table I and exit")
 		dumpSystems = flag.Bool("dump-systems", false, "print Table II and exit")
@@ -91,14 +101,49 @@ func main() {
 		fatal(err)
 	}
 
-	var st chats.Stats
+	// Assemble the tracer stack: the line tracer and the telemetry
+	// collector can be attached together through a MultiTracer.
+	var col *telemetry.Collector
+	if *traceJSON != "" || *traceChrome != "" || *hotLines > 0 || *chainRep || *metrics {
+		col = telemetry.New(cfg.Machine.Cores, telemetry.Options{Window: *window})
+	}
+	var tracers chats.MultiTracer
 	if *trace {
-		st, err = chats.RunTraced(cfg, w, os.Stderr)
-	} else {
+		tracers = append(tracers, chats.WriterTracer(os.Stderr))
+	}
+	if col != nil {
+		tracers = append(tracers, col)
+	}
+
+	var st chats.Stats
+	switch len(tracers) {
+	case 0:
 		st, err = chats.Run(cfg, w)
+	case 1:
+		st, err = chats.RunWithTracer(cfg, w, tracers[0])
+	default:
+		st, err = chats.RunWithTracer(cfg, w, tracers)
 	}
 	if err != nil {
 		fatal(err)
+	}
+
+	if col != nil {
+		if *traceJSON != "" {
+			writeFile(*traceJSON, col.WriteJSONL)
+		}
+		if *traceChrome != "" {
+			writeFile(*traceChrome, col.WriteChromeTrace)
+		}
+		if *hotLines > 0 {
+			col.WriteHotLineReport(os.Stdout, *hotLines)
+		}
+		if *chainRep {
+			col.Chain().Fprint(os.Stdout)
+		}
+		if *metrics {
+			col.Reg.Fprint(os.Stdout)
+		}
 	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -139,6 +184,20 @@ func printStats(st chats.Stats) {
 		st.ConflictedCommitted, st.ConflictedAborted,
 		st.ForwarderCommitted, st.ForwarderAborted,
 		st.ConsumerCommitted, st.ConsumerAborted)
+}
+
+// writeFile creates path and streams one telemetry export into it.
+func writeFile(path string, write func(w io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := write(f); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
 }
 
 func fatal(err error) {

@@ -19,6 +19,11 @@ type VSB struct {
 	entries  []VSBEntry
 	validate int // next entry the periodic validation process will try
 	count    int
+
+	// Observer, when non-nil, is invoked with the new occupancy whenever
+	// the number of valid entries changes — the telemetry layer samples
+	// VSB pressure through it. The nil path is a single pointer check.
+	Observer func(occupancy int)
 }
 
 // NewVSB builds a VSB with the given number of entries (Table II: 4).
@@ -56,6 +61,9 @@ func (v *VSB) Add(line mem.Addr, data mem.Line) bool {
 		if !v.entries[i].Valid {
 			v.entries[i] = VSBEntry{Valid: true, Line: line, Data: data}
 			v.count++
+			if v.Observer != nil {
+				v.Observer(v.count)
+			}
 			return true
 		}
 	}
@@ -80,6 +88,9 @@ func (v *VSB) Remove(line mem.Addr) bool {
 		if v.entries[i].Valid && v.entries[i].Line == line {
 			v.entries[i] = VSBEntry{}
 			v.count--
+			if v.Observer != nil {
+				v.Observer(v.count)
+			}
 			return true
 		}
 	}
@@ -109,6 +120,10 @@ func (v *VSB) Clear() {
 	for i := range v.entries {
 		v.entries[i] = VSBEntry{}
 	}
+	changed := v.count != 0
 	v.count = 0
 	v.validate = 0
+	if changed && v.Observer != nil {
+		v.Observer(0)
+	}
 }

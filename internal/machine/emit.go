@@ -1,0 +1,66 @@
+package machine
+
+import (
+	"chats/internal/coherence"
+	"chats/internal/htm"
+	"chats/internal/mem"
+)
+
+// Event-emission helpers. Every site in the protocol code funnels through
+// these so the no-tracer fast path is exactly one pointer check and zero
+// allocations (pinned by TestNilTracerEmitsNoAllocations), and so the
+// telemetry layer sees every event from one place.
+
+func (m *Machine) emitBegin(core, attempt int, power bool) {
+	if m.tracer != nil {
+		m.tracer.TxBegin(m.eng.Now(), core, attempt, power)
+	}
+}
+
+func (m *Machine) emitCommit(core, consumed int) {
+	if m.tracer != nil {
+		m.tracer.TxCommit(m.eng.Now(), core, consumed)
+	}
+}
+
+func (m *Machine) emitAbort(core int, cause htm.AbortCause) {
+	if m.tracer != nil {
+		m.tracer.TxAbort(m.eng.Now(), core, cause)
+	}
+}
+
+func (m *Machine) emitForward(producer, requester int, line mem.Addr, pic coherence.PiC) {
+	if m.tracer != nil {
+		m.tracer.Forward(m.eng.Now(), producer, requester, line, pic)
+	}
+}
+
+func (m *Machine) emitConsume(core int, line mem.Addr, pic coherence.PiC) {
+	if m.tracer != nil {
+		m.tracer.Consume(m.eng.Now(), core, line, pic)
+	}
+}
+
+func (m *Machine) emitValidate(core int, line mem.Addr, ok bool) {
+	if m.tracer != nil {
+		m.tracer.Validate(m.eng.Now(), core, line, ok)
+	}
+}
+
+func (m *Machine) emitFallback(core int) {
+	if m.tracer != nil {
+		m.tracer.Fallback(m.eng.Now(), core)
+	}
+}
+
+func (m *Machine) emitConflict(holder, requester int, line mem.Addr, kind coherence.ProbeKind, dec htm.ProbeDecision) {
+	if m.xtracer != nil {
+		m.xtracer.Conflict(m.eng.Now(), holder, requester, line, kind, dec)
+	}
+}
+
+func (m *Machine) emitNackRetry(core int, line mem.Addr) {
+	if m.xtracer != nil {
+		m.xtracer.NackRetry(m.eng.Now(), core, line)
+	}
+}

@@ -47,6 +47,7 @@ type Machine struct {
 	powerHolder int
 	tsCounter   uint64
 	tracer      Tracer
+	xtracer     XTracer // tracer's XTracer view, resolved once at SetTracer
 
 	stats RunStats
 }

@@ -1,0 +1,80 @@
+package machine
+
+import (
+	"chats/internal/coherence"
+	"chats/internal/htm"
+	"chats/internal/mem"
+)
+
+// MultiTracer fans every event out to each attached tracer in order, so a
+// WriterTracer, a ChainTracer and a telemetry collector can observe the
+// same run simultaneously (SetTracer holds exactly one tracer). It
+// implements XTracer; the extended events reach only the members that
+// implement XTracer themselves.
+type MultiTracer []Tracer
+
+func (ts MultiTracer) TxBegin(cycle uint64, core, attempt int, power bool) {
+	for _, t := range ts {
+		t.TxBegin(cycle, core, attempt, power)
+	}
+}
+
+func (ts MultiTracer) TxCommit(cycle uint64, core int, consumed int) {
+	for _, t := range ts {
+		t.TxCommit(cycle, core, consumed)
+	}
+}
+
+func (ts MultiTracer) TxAbort(cycle uint64, core int, cause htm.AbortCause) {
+	for _, t := range ts {
+		t.TxAbort(cycle, core, cause)
+	}
+}
+
+func (ts MultiTracer) Forward(cycle uint64, producer, requester int, line mem.Addr, pic coherence.PiC) {
+	for _, t := range ts {
+		t.Forward(cycle, producer, requester, line, pic)
+	}
+}
+
+func (ts MultiTracer) Consume(cycle uint64, core int, line mem.Addr, pic coherence.PiC) {
+	for _, t := range ts {
+		t.Consume(cycle, core, line, pic)
+	}
+}
+
+func (ts MultiTracer) Validate(cycle uint64, core int, line mem.Addr, ok bool) {
+	for _, t := range ts {
+		t.Validate(cycle, core, line, ok)
+	}
+}
+
+func (ts MultiTracer) Fallback(cycle uint64, core int) {
+	for _, t := range ts {
+		t.Fallback(cycle, core)
+	}
+}
+
+func (ts MultiTracer) Conflict(cycle uint64, holder, requester int, line mem.Addr, kind coherence.ProbeKind, dec htm.ProbeDecision) {
+	for _, t := range ts {
+		if x, ok := t.(XTracer); ok {
+			x.Conflict(cycle, holder, requester, line, kind, dec)
+		}
+	}
+}
+
+func (ts MultiTracer) NackRetry(cycle uint64, core int, line mem.Addr) {
+	for _, t := range ts {
+		if x, ok := t.(XTracer); ok {
+			x.NackRetry(cycle, core, line)
+		}
+	}
+}
+
+func (ts MultiTracer) VSBOccupancy(cycle uint64, core, occ int) {
+	for _, t := range ts {
+		if x, ok := t.(XTracer); ok {
+			x.VSBOccupancy(cycle, core, occ)
+		}
+	}
+}

@@ -223,6 +223,8 @@ func (n *Node) onLoadResp(a mem.Addr, inTx bool, epoch uint64, resp coherence.Re
 			done(0, true)
 			return
 		}
+		n.m.stats.NackRetries++
+		n.m.emitNackRetry(n.id, line)
 		n.m.eng.Schedule(n.m.cfg.NackRetryDelay, func() {
 			n.load1(a, inTx, done, nackTries+1, vsbTries)
 		})
@@ -272,9 +274,7 @@ func (n *Node) consumeSpec(line mem.Addr, resp coherence.Resp, vsbTries int,
 		n.tx.AddWrite(line)
 		n.tx.Consumed = true
 		n.m.stats.SpecRespsConsumed++
-		if n.m.tracer != nil {
-			n.m.tracer.Consume(n.m.eng.Now(), n.id, line, resp.PiC)
-		}
+		n.m.emitConsume(n.id, line, resp.PiC)
 		n.armValidationTimer()
 		cont(false)
 	default:
@@ -420,6 +420,8 @@ func (n *Node) onStoreResp(a mem.Addr, v uint64, inTx bool, epoch uint64, resp c
 			done(true)
 			return
 		}
+		n.m.stats.NackRetries++
+		n.m.emitNackRetry(n.id, line)
 		n.m.eng.Schedule(n.m.cfg.NackRetryDelay, func() {
 			n.store1(a, v, inTx, done, nackTries+1, vsbTries)
 		})

@@ -54,6 +54,7 @@ func (n *Node) HandleProbe(p coherence.Probe) {
 	if dec == htm.DecideSpec && !(p.Kind != coherence.InvProbe && e != nil) {
 		panic("machine: policy forwarded an unforwardable probe")
 	}
+	n.m.emitConflict(n.id, p.Req.ID, line, p.Kind, dec)
 
 	switch dec {
 	case htm.DecideSpec:
@@ -61,9 +62,7 @@ func (n *Node) HandleProbe(p coherence.Probe) {
 		n.tx.Forwarded = true
 		n.tx.ForwardedTo++
 		n.m.stats.SpecRespsSent++
-		if n.m.tracer != nil {
-			n.m.tracer.Forward(n.m.eng.Now(), n.id, p.Req.ID, line, pic)
-		}
+		n.m.emitForward(n.id, p.Req.ID, line, pic)
 		var data mem.Line
 		if e != nil {
 			data = e.Data
@@ -134,9 +133,7 @@ func (n *Node) abortTx(cause htm.AbortCause) {
 	n.tx.MarkAborted(cause)
 	n.l1.GangInvalidateSM()
 	n.stopValidationTimer()
-	if n.m.tracer != nil {
-		n.m.tracer.TxAbort(n.m.eng.Now(), n.id, cause)
-	}
+	n.m.emitAbort(n.id, cause)
 	if wasCommitting && n.commitDone != nil {
 		done := n.commitDone
 		n.commitDone = nil
@@ -175,9 +172,7 @@ func (n *Node) begin1(attempt int, power bool, done func(bool)) {
 				return
 			}
 			n.validatedThisTx = 0
-			if n.m.tracer != nil {
-				n.m.tracer.TxBegin(n.m.eng.Now(), n.id, attempt, power)
-			}
+			n.m.emitBegin(n.id, attempt, power)
 			done(true)
 		})
 	})
@@ -201,9 +196,7 @@ func (n *Node) Commit(done func(committed bool)) {
 }
 
 func (n *Node) finalizeCommit(done func(bool)) {
-	if n.m.tracer != nil {
-		n.m.tracer.TxCommit(n.m.eng.Now(), n.id, n.validatedThisTx)
-	}
+	n.m.emitCommit(n.id, n.validatedThisTx)
 	n.l1.CommitSM(nil)
 	n.m.stats.Commits++
 	if n.tx.Conflicted {
@@ -237,9 +230,7 @@ func (n *Node) FinishAbort() htm.AbortCause {
 func (n *Node) EnterFallback() {
 	n.tx.Status = htm.Fallback
 	n.m.stats.Fallbacks++
-	if n.m.tracer != nil {
-		n.m.tracer.Fallback(n.m.eng.Now(), n.id)
-	}
+	n.m.emitFallback(n.id)
 }
 
 // ExitFallback returns the core to Idle.
@@ -322,9 +313,7 @@ func (n *Node) onValidationResp(ent htm.VSBEntry, epoch uint64, resp coherence.R
 			n.tx.VSB.Remove(ent.Line)
 			n.m.stats.ValidationsOK++
 			n.validatedThisTx++
-			if n.m.tracer != nil {
-				n.m.tracer.Validate(n.m.eng.Now(), n.id, ent.Line, true)
-			}
+			n.m.emitValidate(n.id, ent.Line, true)
 			if e := n.l1.Peek(ent.Line); e != nil {
 				e.Spec = false // the fiction is now real ownership
 			}
@@ -353,9 +342,7 @@ func (n *Node) onValidationResp(ent htm.VSBEntry, epoch uint64, resp coherence.R
 			n.abortTx(cause)
 			return
 		}
-		if n.m.tracer != nil {
-			n.m.tracer.Validate(n.m.eng.Now(), n.id, ent.Line, false)
-		}
+		n.m.emitValidate(n.id, ent.Line, false)
 		n.armValidationTimer()
 	case coherence.RespNack:
 		if stale {

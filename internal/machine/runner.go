@@ -113,19 +113,24 @@ type runner struct {
 func newRunner(m *Machine) *runner { return &runner{m: m} }
 
 func (r *runner) run(w Workload) error {
-	var wg sync.WaitGroup
+	// Build the full thread list before spawning any goroutine: threads
+	// call Ctx.Threads() (len(r.threads)) as soon as they start, so the
+	// slice must not grow concurrently.
 	for i := range r.m.nodes {
-		t := &tctx{
+		r.threads = append(r.threads, &tctx{
 			r:       r,
 			node:    r.m.nodes[i],
 			tid:     i,
 			rng:     sim.NewRand(r.m.cfg.Seed*7919 + uint64(i) + 101),
 			reqCh:   make(chan opReq),
 			replyCh: make(chan opReply),
-		}
-		r.threads = append(r.threads, t)
+		})
+	}
+	var wg sync.WaitGroup
+	for _, t := range r.threads {
+		t := t
 		wg.Add(1)
-		go func(t *tctx) {
+		go func() {
 			defer wg.Done()
 			defer close(t.reqCh)
 			defer func() {
@@ -137,7 +142,7 @@ func (r *runner) run(w Workload) error {
 				}
 			}()
 			w.Thread(t, t.tid)
-		}(t)
+		}()
 	}
 	r.active = len(r.threads)
 	for _, t := range r.threads {

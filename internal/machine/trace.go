@@ -30,8 +30,41 @@ type Tracer interface {
 	Fallback(cycle uint64, core int)
 }
 
-// SetTracer attaches a tracer (nil detaches). Call before Run.
-func (m *Machine) SetTracer(t Tracer) { m.tracer = t }
+// XTracer extends Tracer with the attribution events the telemetry layer
+// consumes. A plain Tracer keeps working unchanged; the machine detects
+// an XTracer once at SetTracer time so the per-event fast path stays a
+// single pointer check.
+type XTracer interface {
+	Tracer
+	// Conflict: a probe hit holder's read/write set and the policy chose
+	// dec (the line is the contended address; requester is the other
+	// side). Emitted for every conflicting probe, whatever the outcome.
+	Conflict(cycle uint64, holder, requester int, line mem.Addr, kind coherence.ProbeKind, dec htm.ProbeDecision)
+	// NackRetry: core re-issues a nacked demand access for line.
+	NackRetry(cycle uint64, core int, line mem.Addr)
+	// VSBOccupancy: core's VSB occupancy changed to occ.
+	VSBOccupancy(cycle uint64, core, occ int)
+}
+
+// SetTracer attaches a tracer (nil detaches). Call before Run. When the
+// tracer also implements XTracer, the extended events (conflict
+// attribution, nack retries, VSB occupancy) are delivered too.
+func (m *Machine) SetTracer(t Tracer) {
+	m.tracer = t
+	m.xtracer = nil
+	if x, ok := t.(XTracer); ok && t != nil {
+		m.xtracer = x
+	}
+	for _, n := range m.nodes {
+		n.tx.VSB.Observer = nil
+		if m.xtracer != nil {
+			n := n
+			n.tx.VSB.Observer = func(occ int) {
+				m.xtracer.VSBOccupancy(m.eng.Now(), n.id, occ)
+			}
+		}
+	}
+}
 
 // WriterTracer formats events as one line each, prefixed with the cycle
 // — handy with chatsim -trace.

@@ -1,0 +1,189 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Histogram counts observations into fixed buckets. Bounds are inclusive
+// upper limits in ascending order; values above the last bound land in an
+// implicit overflow bucket. The telemetry layer uses these for latency,
+// retry and occupancy distributions; Fprint renders them next to Table in
+// the same fixed-width style.
+type Histogram struct {
+	Name   string
+	Bounds []uint64
+	Counts []uint64 // len(Bounds)+1; the last cell is the overflow bucket
+	N      uint64
+	Sum    uint64
+	Max    uint64
+}
+
+// NewHistogram allocates a histogram over the given ascending bounds.
+func NewHistogram(name string, bounds []uint64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("stats: histogram %q bounds not ascending", name))
+		}
+	}
+	return &Histogram{Name: name, Bounds: bounds, Counts: make([]uint64, len(bounds)+1)}
+}
+
+// ExpBounds returns n bounds starting at start, each factor times the
+// previous — the usual shape for cycle-latency histograms.
+func ExpBounds(start, factor uint64, n int) []uint64 {
+	bs := make([]uint64, n)
+	v := start
+	for i := 0; i < n; i++ {
+		bs[i] = v
+		v *= factor
+	}
+	return bs
+}
+
+// LinearBounds returns n bounds start, start+step, ...
+func LinearBounds(start, step uint64, n int) []uint64 {
+	bs := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		bs[i] = start + uint64(i)*step
+	}
+	return bs
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	i := 0
+	for i < len(h.Bounds) && v > h.Bounds[i] {
+		i++
+	}
+	h.Counts[i]++
+	h.N++
+	h.Sum += v
+	if v > h.Max {
+		h.Max = v
+	}
+}
+
+// Mean returns the arithmetic mean of the observed values (0 if empty).
+func (h *Histogram) Mean() float64 {
+	if h.N == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.N)
+}
+
+// Quantile returns the upper bound of the bucket containing the q-th
+// quantile (0 < q <= 1). The overflow bucket reports the observed Max.
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h.N == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(h.N)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= target {
+			if i < len(h.Bounds) {
+				return h.Bounds[i]
+			}
+			return h.Max
+		}
+	}
+	return h.Max
+}
+
+// Fprint renders the histogram as labelled buckets with proportional
+// bars, skipping empty leading/trailing buckets.
+func (h *Histogram) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s ==\n", h.Name)
+	fmt.Fprintf(w, "n=%d mean=%.1f p50=%d p99=%d max=%d\n",
+		h.N, h.Mean(), h.Quantile(0.50), h.Quantile(0.99), h.Max)
+	if h.N == 0 {
+		fmt.Fprintln(w)
+		return
+	}
+	var peak uint64
+	for _, c := range h.Counts {
+		if c > peak {
+			peak = c
+		}
+	}
+	lo, hi := 0, len(h.Counts)-1
+	for lo < hi && h.Counts[lo] == 0 {
+		lo++
+	}
+	for hi > lo && h.Counts[hi] == 0 {
+		hi--
+	}
+	for i := lo; i <= hi; i++ {
+		label := fmt.Sprintf("> %d", h.Bounds[len(h.Bounds)-1])
+		if i < len(h.Bounds) {
+			label = fmt.Sprintf("<= %d", h.Bounds[i])
+		}
+		bar := ""
+		if peak > 0 {
+			bar = strings.Repeat("#", int(h.Counts[i]*40/peak))
+		}
+		fmt.Fprintf(w, "%12s %8d %s\n", label, h.Counts[i], bar)
+	}
+	fmt.Fprintln(w)
+}
+
+// Series is a cycle-windowed time series: event counts bucketed by
+// fixed-width windows of simulated time, so a run can show abort or
+// forwarding rates over time rather than one aggregate number.
+type Series struct {
+	Name   string
+	Window uint64
+	Bins   []uint64
+}
+
+// NewSeries allocates a series with the given window width in cycles.
+func NewSeries(name string, window uint64) *Series {
+	if window == 0 {
+		panic("stats: series window must be positive")
+	}
+	return &Series{Name: name, Window: window}
+}
+
+// Add records n events at the given cycle.
+func (s *Series) Add(cycle uint64, n uint64) {
+	idx := int(cycle / s.Window)
+	for len(s.Bins) <= idx {
+		s.Bins = append(s.Bins, 0)
+	}
+	s.Bins[idx] += n
+}
+
+// Total returns the sum over all windows.
+func (s *Series) Total() uint64 {
+	var t uint64
+	for _, b := range s.Bins {
+		t += b
+	}
+	return t
+}
+
+// Fprint renders one line per window with a proportional bar.
+func (s *Series) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s (window %d cycles) ==\n", s.Name, s.Window)
+	var peak uint64
+	for _, b := range s.Bins {
+		if b > peak {
+			peak = b
+		}
+	}
+	for i, b := range s.Bins {
+		bar := ""
+		if peak > 0 {
+			bar = strings.Repeat("#", int(b*40/peak))
+		}
+		fmt.Fprintf(w, "%12d %8d %s\n", uint64(i)*s.Window, b, bar)
+	}
+	fmt.Fprintln(w)
+}

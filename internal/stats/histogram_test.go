@@ -1,0 +1,92 @@
+package stats
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// Ratio's documented edge behaviour (0/0 = 1, x/0 = +Inf) also has a
+// dedicated test in table_test.go; RatioInfPropagates pins that the Inf
+// marker survives into a mean rather than silently collapsing.
+func TestRatioInfPropagates(t *testing.T) {
+	if got := Mean([]float64{Ratio(3, 0), 1}); !math.IsInf(got, 1) {
+		t.Errorf("mean over an Inf ratio = %g, want +Inf", got)
+	}
+}
+
+func TestHistogramObserve(t *testing.T) {
+	h := NewHistogram("lat", []uint64{10, 100, 1000})
+	for _, v := range []uint64{5, 10, 11, 100, 5000} {
+		h.Observe(v)
+	}
+	want := []uint64{2, 2, 0, 1} // <=10, <=100, <=1000, overflow
+	for i, c := range h.Counts {
+		if c != want[i] {
+			t.Errorf("bucket %d = %d, want %d", i, c, want[i])
+		}
+	}
+	if h.N != 5 || h.Max != 5000 {
+		t.Errorf("N=%d Max=%d", h.N, h.Max)
+	}
+	if got := h.Quantile(0.5); got != 100 {
+		t.Errorf("p50 = %d, want 100", got)
+	}
+	if got := h.Quantile(1.0); got != 5000 {
+		t.Errorf("p100 = %d, want 5000 (overflow bucket reports max)", got)
+	}
+}
+
+func TestHistogramBadBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on descending bounds")
+		}
+	}()
+	NewHistogram("bad", []uint64{10, 5})
+}
+
+func TestExpAndLinearBounds(t *testing.T) {
+	if got := ExpBounds(10, 10, 3); got[0] != 10 || got[1] != 100 || got[2] != 1000 {
+		t.Errorf("ExpBounds = %v", got)
+	}
+	if got := LinearBounds(1, 2, 3); got[0] != 1 || got[1] != 3 || got[2] != 5 {
+		t.Errorf("LinearBounds = %v", got)
+	}
+}
+
+func TestSeriesWindows(t *testing.T) {
+	s := NewSeries("aborts", 100)
+	s.Add(0, 1)
+	s.Add(99, 1)
+	s.Add(100, 2)
+	s.Add(950, 5)
+	if len(s.Bins) != 10 {
+		t.Fatalf("bins = %d, want 10", len(s.Bins))
+	}
+	if s.Bins[0] != 2 || s.Bins[1] != 2 || s.Bins[9] != 5 {
+		t.Errorf("bins = %v", s.Bins)
+	}
+	if s.Total() != 9 {
+		t.Errorf("total = %d", s.Total())
+	}
+	var buf bytes.Buffer
+	s.Fprint(&buf)
+	if !strings.Contains(buf.String(), "window 100 cycles") {
+		t.Errorf("render missing header:\n%s", buf.String())
+	}
+}
+
+func TestHistogramFprint(t *testing.T) {
+	h := NewHistogram("retries", LinearBounds(1, 1, 4))
+	for i := 0; i < 10; i++ {
+		h.Observe(uint64(i % 3))
+	}
+	var buf bytes.Buffer
+	h.Fprint(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "== retries ==") || !strings.Contains(out, "#") {
+		t.Errorf("render unexpected:\n%s", out)
+	}
+}

@@ -41,7 +41,9 @@ func GeoMean(xs []float64) float64 {
 	return math.Exp(s / float64(len(xs)))
 }
 
-// Ratio divides safely (0/0 = 1, x/0 = +Inf marker 0 is avoided).
+// Ratio divides safely: 0/0 normalizes to 1 (both sides did nothing, so
+// they are at parity) and x/0 with x > 0 returns +Inf, a deliberately
+// loud marker — a finite stand-in would silently distort means.
 func Ratio(num, den uint64) float64 {
 	if den == 0 {
 		if num == 0 {

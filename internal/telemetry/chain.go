@@ -1,0 +1,54 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+
+	"chats/internal/stats"
+)
+
+// ChainReport summarizes the forwarding topology of a run: how deep the
+// producer→consumer chains grew, how widely single producers fanned out,
+// and how often the cycle-avoidance machinery had to refuse (NACK) or
+// kill. It generalizes ChainTracer.MaxChainDepth into distributions.
+type ChainReport struct {
+	// Edges is the number of forwarding edges (SpecResps sent).
+	Edges uint64
+	// MaxDepth is the deepest chain observed (distinct producers
+	// transitively upstream of one consumer among live transactions).
+	MaxDepth int
+	// Depth is the distribution of the consumer's chain depth at each
+	// forwarding edge.
+	Depth *stats.Histogram
+	// FanOut is the distribution of SpecResps sent per forwarding
+	// transaction attempt.
+	FanOut *stats.Histogram
+	// StallNacks counts conflicts resolved requester-stalls; CycleAborts
+	// counts transactions killed by PiC cycle avoidance or validation.
+	StallNacks  uint64
+	CycleAborts uint64
+}
+
+// Chain builds the chain-topology report from the collected state.
+func (c *Collector) Chain() ChainReport {
+	return ChainReport{
+		Edges:       c.chainEdges,
+		MaxDepth:    c.maxDepth,
+		Depth:       c.depth,
+		FanOut:      c.fanOut,
+		StallNacks:  c.Reg.Counter("conflict/nack").N,
+		CycleAborts: c.Reg.Counter("tx/aborts/cycle").N + c.Reg.Counter("tx/aborts/validation").N,
+	}
+}
+
+// Fprint renders the report.
+func (r ChainReport) Fprint(w io.Writer) {
+	fmt.Fprintln(w, "== chain topology ==")
+	fmt.Fprintf(w, "forwarding edges   %d\n", r.Edges)
+	fmt.Fprintf(w, "max chain depth    %d\n", r.MaxDepth)
+	fmt.Fprintf(w, "stall nacks        %d\n", r.StallNacks)
+	fmt.Fprintf(w, "cycle/val aborts   %d\n", r.CycleAborts)
+	fmt.Fprintln(w)
+	r.Depth.Fprint(w)
+	r.FanOut.Fprint(w)
+}

@@ -1,0 +1,131 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// chromeEvent is one record of the Chrome trace_event format (the JSON
+// Perfetto and chrome://tracing load). Only the fields each phase needs
+// are populated.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   uint64         `json:"ts"`
+	Dur  uint64         `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Cat  string         `json:"cat,omitempty"`
+	ID   uint64         `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level trace_event container.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// flowKey matches a Forward to the Consume that accepted it: the
+// requester core plus the line address.
+type flowKey struct {
+	core int
+	line uint64
+}
+
+// WriteChromeTrace exports the run as Chrome trace_event JSON: one track
+// (tid) per core, transaction attempts as duration slices named by their
+// outcome, forwards as flow arrows from producer to consumer, and
+// conflicts/nacks/fallbacks as instant markers. Timestamps are simulated
+// cycles (the viewer displays them as microseconds).
+func (c *Collector) WriteChromeTrace(w io.Writer) error {
+	out := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+	for tid := range c.cores {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: tid,
+			Args: map[string]any{"name": fmt.Sprintf("core %d", tid)},
+		})
+	}
+
+	type open struct {
+		cycle   uint64
+		attempt int
+		power   bool
+	}
+	begun := map[int]open{}
+	flows := map[flowKey][]uint64{}
+	var flowID uint64
+
+	for _, e := range c.Events {
+		switch e.Kind {
+		case KindBegin:
+			begun[e.Core] = open{cycle: e.Cycle, attempt: e.Attempt, power: e.Power}
+		case KindCommit, KindAbort:
+			b, ok := begun[e.Core]
+			if !ok {
+				continue
+			}
+			delete(begun, e.Core)
+			name := "commit"
+			args := map[string]any{"attempt": b.attempt}
+			if e.Kind == KindAbort {
+				name = "abort(" + e.Cause.String() + ")"
+				args["cause"] = e.Cause.String()
+			} else {
+				args["consumed"] = e.Consumed
+			}
+			if b.power {
+				args["power"] = true
+			}
+			dur := e.Cycle - b.cycle
+			if dur == 0 {
+				dur = 1 // zero-width slices vanish in the viewer
+			}
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: name, Ph: "X", Ts: b.cycle, Dur: dur, Pid: 0, Tid: e.Core,
+				Cat: "tx", Args: args,
+			})
+		case KindForward:
+			flowID++
+			k := flowKey{core: e.Peer, line: uint64(e.Line)}
+			flows[k] = append(flows[k], flowID)
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "forward", Ph: "s", Ts: e.Cycle, Pid: 0, Tid: e.Core,
+				Cat: "flow", ID: flowID,
+				Args: map[string]any{"line": e.Line.String(), "to": e.Peer, "pic": int(e.PiC)},
+			})
+		case KindConsume:
+			k := flowKey{core: e.Core, line: uint64(e.Line)}
+			if ids := flows[k]; len(ids) > 0 {
+				id := ids[0]
+				flows[k] = ids[1:]
+				out.TraceEvents = append(out.TraceEvents, chromeEvent{
+					Name: "forward", Ph: "f", BP: "e", Ts: e.Cycle, Pid: 0, Tid: e.Core,
+					Cat: "flow", ID: id,
+					Args: map[string]any{"line": e.Line.String(), "pic": int(e.PiC)},
+				})
+			}
+		case KindConflict:
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "conflict(" + e.Decision.String() + ")", Ph: "i", Ts: e.Cycle,
+				Pid: 0, Tid: e.Core, Cat: "conflict", S: "t",
+				Args: map[string]any{"line": e.Line.String(), "requester": e.Peer, "probe": e.Probe.String()},
+			})
+		case KindNack:
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "nack-retry", Ph: "i", Ts: e.Cycle, Pid: 0, Tid: e.Core,
+				Cat: "nack", S: "t", Args: map[string]any{"line": e.Line.String()},
+			})
+		case KindFallback:
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "fallback-lock", Ph: "i", Ts: e.Cycle, Pid: 0, Tid: e.Core,
+				Cat: "fallback", S: "t",
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

@@ -1,0 +1,65 @@
+// Benchmarks sizing the cost of the telemetry layer. Run as:
+//
+//	go test -bench 'RunNilTracer|RunTelemetry' -benchmem
+//
+// BenchmarkRunNilTracer is the reference: no tracer attached, so every
+// event site reduces to one nil pointer check (the per-event zero-alloc
+// property itself is pinned by machine.TestNilTracerEmitsNoAllocations;
+// -benchmem here shows the whole-run allocation budget the collector
+// adds on top). BenchmarkRunTelemetry attaches a full Collector —
+// event retention, metrics, hot-line and chain profiling — and should
+// stay within ~15% of the reference on this medium microbenchmark.
+package chats_test
+
+import (
+	"testing"
+
+	"chats"
+	"chats/internal/telemetry"
+	"chats/internal/workloads"
+)
+
+func benchTelemetryCfg() chats.Config {
+	cfg := chats.DefaultConfig()
+	cfg.System = chats.CHATS
+	cfg.Machine.CycleLimit = 500_000_000
+	return cfg
+}
+
+func BenchmarkRunNilTracer(b *testing.B) {
+	cfg := benchTelemetryCfg()
+	b.ReportAllocs()
+	var last chats.Stats
+	for i := 0; i < b.N; i++ {
+		w, err := workloads.New("cadd", workloads.Medium)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last, err = chats.Run(cfg, w)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(last.Cycles), "simcycles/op")
+}
+
+func BenchmarkRunTelemetry(b *testing.B) {
+	cfg := benchTelemetryCfg()
+	b.ReportAllocs()
+	var last chats.Stats
+	var events int
+	for i := 0; i < b.N; i++ {
+		w, err := workloads.New("cadd", workloads.Medium)
+		if err != nil {
+			b.Fatal(err)
+		}
+		col := telemetry.New(cfg.Machine.Cores, telemetry.Options{})
+		last, err = chats.RunWithTracer(cfg, w, col)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events = len(col.Events)
+	}
+	b.ReportMetric(float64(last.Cycles), "simcycles/op")
+	b.ReportMetric(float64(events), "events/op")
+}
