@@ -1,0 +1,50 @@
+// Allocation benchmarks for the simulation hot path. The scheduling
+// micro-benchmarks in internal/sim pin the event free list at 0
+// allocs/op; these whole-machine benchmarks track the steady-state
+// allocation rate per simulated cycle end to end (event recycling,
+// transaction read/write-set reuse, write-back buffer pooling), so a
+// regression in any layer shows up as allocs/simcycle creeping back up.
+package chats_test
+
+import (
+	"testing"
+
+	"chats"
+	"chats/internal/workloads"
+)
+
+// runAllocCell simulates one cell per iteration and reports allocations
+// normalized by simulated cycles, the scale-free steady-state figure.
+func runAllocCell(b *testing.B, system chats.SystemKind, bench string) {
+	b.Helper()
+	cfg := benchCfg(system)
+	var cycles uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w, err := workloads.New(bench, workloads.Tiny)
+		if err != nil {
+			b.Fatal(err)
+		}
+		st, err := chats.Run(cfg, w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = st.Cycles
+	}
+	b.ReportMetric(float64(cycles), "simcycles/op")
+}
+
+// BenchmarkMachineAllocs runs contended and cache-friendly cells on the
+// baseline and CHATS systems. allocs/op here covers machine+workload
+// construction (unavoidable per run) plus the steady state; watch the
+// trend, the sim-layer benchmarks assert the exact zero.
+func BenchmarkMachineAllocs(b *testing.B) {
+	for _, system := range []chats.SystemKind{chats.Baseline, chats.CHATS} {
+		for _, bench := range []string{"cadd", "llb-h", "intruder"} {
+			b.Run(string(system)+"/"+bench, func(b *testing.B) {
+				runAllocCell(b, system, bench)
+			})
+		}
+	}
+}

@@ -5,6 +5,7 @@
 //	chats-experiments                 # everything at medium size
 //	chats-experiments -fig 4 -size small
 //	chats-experiments -fig 1,4,7 -v
+//	chats-experiments -fig 4 -j 4 -bench-json bench.json
 package main
 
 import (
@@ -12,7 +13,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"time"
 
 	"chats"
 	"chats/internal/experiments"
@@ -24,14 +27,16 @@ import (
 
 func main() {
 	var (
-		figs    = flag.String("fig", "all", "comma-separated figure list (1,4,5,6,7,8,9,10,11) or 'all'")
-		size    = flag.String("size", "medium", "workload size: tiny, small, medium")
-		seed    = flag.Uint64("seed", 1, "simulation seed")
-		seeds   = flag.Int("seeds", 1, "seeds to average each cell over")
-		verbose = flag.Bool("v", false, "print a line per simulation")
-		csvDir  = flag.String("csv", "", "also write each table as CSV into this directory")
-		profile = flag.String("profile", "", "instead of figures, profile one benchmark under telemetry (hot lines, chain topology, metrics)")
-		profSys = flag.String("profile-system", "chats", "system to profile with -profile")
+		figs      = flag.String("fig", "all", "comma-separated figure list (1,4,5,6,7,8,9,10,11) or 'all'")
+		size      = flag.String("size", "medium", "workload size: tiny, small, medium")
+		seed      = flag.Uint64("seed", 1, "simulation seed")
+		seeds     = flag.Int("seeds", 1, "seeds to average each cell over")
+		verbose   = flag.Bool("v", false, "print a line per simulation")
+		csvDir    = flag.String("csv", "", "also write each table as CSV into this directory")
+		profile   = flag.String("profile", "", "instead of figures, profile one benchmark under telemetry (hot lines, chain topology, metrics)")
+		profSys   = flag.String("profile-system", "chats", "system to profile with -profile")
+		jobs      = flag.Int("j", runtime.NumCPU(), "simulation cells to run in parallel (results are identical at any -j)")
+		benchJSON = flag.String("bench-json", "", "write a machine-readable bench trajectory {cell, simcycles, wallclock_ns, allocs} to this file")
 	)
 	flag.Parse()
 
@@ -45,12 +50,13 @@ func main() {
 		}
 		return
 	}
-	p := experiments.Params{Size: sz, Machine: machine.DefaultConfig(), Seeds: *seeds}
+	p := experiments.Params{Size: sz, Machine: machine.DefaultConfig(), Seeds: *seeds, Workers: *jobs}
 	p.Machine.Seed = *seed
 	if *verbose {
 		p.Verbose = os.Stderr
 	}
 	suite := experiments.NewSuite(p)
+	start := time.Now()
 
 	want := map[string]bool{}
 	if *figs == "all" {
@@ -134,6 +140,18 @@ func main() {
 	}
 	if want["11"] {
 		show(suite.Fig11())
+	}
+	if *benchJSON != "" {
+		f, err := os.Create(*benchJSON)
+		if err != nil {
+			fatal(err)
+		}
+		if err := suite.WriteBenchJSON(f, *jobs, time.Since(start)); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
 	}
 	fmt.Fprintf(os.Stderr, "total simulations: %d\n", suite.Runs)
 }

@@ -6,6 +6,7 @@
 //	chatsim -system chats -bench kmeans-h -size medium
 //	chatsim -trace-chrome out.json -bench kmeans-h   # load in Perfetto
 //	chatsim -hot-lines 8 -chain -metrics -bench cadd
+//	chatsim -sweep -systems baseline,chats -benches cadd,llb-h -j 4
 //	chatsim -dump-config     # Table I
 //	chatsim -dump-systems    # Table II
 //	chatsim -list            # available benchmarks and systems
@@ -17,11 +18,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 
 	"chats"
 	"chats/internal/experiments"
 	"chats/internal/htm"
+	"chats/internal/sweep"
 	"chats/internal/telemetry"
 	"chats/internal/workloads"
 )
@@ -44,6 +47,10 @@ func main() {
 		metrics     = flag.Bool("metrics", false, "print telemetry histograms and cycle-windowed series")
 		window      = flag.Uint64("window", 10_000, "cycle window for the telemetry time series")
 		jsonOut     = flag.Bool("json", false, "print statistics as JSON")
+		doSweep     = flag.Bool("sweep", false, "run a (systems × benches) grid instead of a single cell")
+		sweepSys    = flag.String("systems", "", "comma-separated systems for -sweep (default: all)")
+		sweepBench  = flag.String("benches", "", "comma-separated benchmarks for -sweep (default: all)")
+		jobs        = flag.Int("j", runtime.NumCPU(), "cells to run in parallel with -sweep (results are identical at any -j)")
 		dumpConfig  = flag.Bool("dump-config", false, "print Table I and exit")
 		dumpSystems = flag.Bool("dump-systems", false, "print Table II and exit")
 		list        = flag.Bool("list", false, "list benchmarks and systems and exit")
@@ -67,6 +74,13 @@ func main() {
 	if *list {
 		fmt.Println("benchmarks:", strings.Join(workloads.Names(), " "))
 		fmt.Println("systems:   ", strings.Join(systemNames(), " "))
+		return
+	}
+
+	if *doSweep {
+		if err := runSweep(cfg, *sweepSys, *sweepBench, *size, *jobs, *retries, *vsb, *valInterval, *jsonOut); err != nil {
+			fatal(err)
+		}
 		return
 	}
 
@@ -154,6 +168,96 @@ func main() {
 		return
 	}
 	printStats(st)
+}
+
+// runSweep fans a (systems × benches) grid out over -j goroutines. Each
+// cell builds its own config and workload, so the printed statistics are
+// bit-identical at any -j; only wall clock changes. Results print in
+// grid order (system-major) regardless of completion order.
+func runSweep(base chats.Config, systems, benches, size string, jobs, retries, vsb, valInterval int, jsonOut bool) error {
+	var kinds []chats.SystemKind
+	if systems == "" {
+		kinds = chats.Systems()
+	} else {
+		for _, s := range strings.Split(systems, ",") {
+			k, err := chats.ParseSystem(strings.TrimSpace(s))
+			if err != nil {
+				return err
+			}
+			kinds = append(kinds, k)
+		}
+	}
+	var names []string
+	if benches == "" {
+		names = workloads.Names()
+	} else {
+		for _, b := range strings.Split(benches, ",") {
+			names = append(names, strings.TrimSpace(b))
+		}
+	}
+	sz, err := workloads.ParseSize(size)
+	if err != nil {
+		return err
+	}
+
+	type cell struct {
+		cfg   chats.Config
+		bench string
+	}
+	var cells []cell
+	for _, k := range kinds {
+		cfg := base
+		cfg.System = k
+		cfg.Traits = nil
+		if retries >= 0 || vsb >= 0 || valInterval >= 0 {
+			t, err := chats.SystemTraits(k)
+			if err != nil {
+				return err
+			}
+			if retries >= 0 {
+				t.Retries = retries
+			}
+			if vsb >= 0 {
+				t.VSBSize = vsb
+			}
+			if valInterval >= 0 {
+				t.ValidationInterval = uint64(valInterval)
+			}
+			cfg.Traits = &t
+		}
+		for _, b := range names {
+			cells = append(cells, cell{cfg: cfg, bench: b})
+		}
+	}
+
+	results := make([]chats.Stats, len(cells))
+	err = sweep.Map(jobs, len(cells), nil, func(i int) error {
+		w, err := workloads.New(cells[i].bench, sz)
+		if err != nil {
+			return err
+		}
+		st, err := chats.Run(cells[i].cfg, w)
+		if err != nil {
+			return err
+		}
+		results[i] = st
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(results)
+	}
+	fmt.Printf("%-12s %-10s %12s %9s %9s %10s\n", "system", "bench", "cycles", "commits", "aborts", "abort-rate")
+	for _, st := range results {
+		fmt.Printf("%-12s %-10s %12d %9d %9d %10.3f\n",
+			st.System, st.Workload, st.Cycles, st.Commits, st.Aborts, st.AbortRate())
+	}
+	return nil
 }
 
 func systemNames() []string {

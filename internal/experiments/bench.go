@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"time"
+
+	"chats/internal/core"
+	"chats/internal/htm"
+)
+
+// CellBench records the cost of one simulation cell: simulated cycles,
+// host wall clock, and heap allocations observed while it ran. Emitted
+// by `chats-experiments -bench-json` so perf trajectories can be
+// compared machine-readably across commits.
+type CellBench struct {
+	Cell        string `json:"cell"`
+	SimCycles   uint64 `json:"simcycles"`
+	WallclockNS int64  `json:"wallclock_ns"`
+	Allocs      uint64 `json:"allocs"`
+}
+
+// BenchReport is the top-level -bench-json document.
+type BenchReport struct {
+	// Schema names the document layout so downstream tooling can detect
+	// incompatible changes.
+	Schema string `json:"schema"`
+	// Workers is the -j value the sweep ran under. Note that with
+	// Workers > 1 the per-cell Allocs and WallclockNS figures include
+	// interference from concurrently running cells (Mallocs is a
+	// process-wide counter); SimCycles is always exact.
+	Workers          int         `json:"workers"`
+	Size             string      `json:"size"`
+	Runs             int         `json:"runs"`
+	TotalWallclockNS int64       `json:"total_wallclock_ns"`
+	Cells            []CellBench `json:"cells"`
+}
+
+// benchSchema identifies the current BenchReport layout.
+const benchSchema = "chats-bench/v1"
+
+// cellBenchRec is an in-flight measurement for one simulation.
+type cellBenchRec struct {
+	bench   CellBench
+	start   time.Time
+	mallocs uint64
+}
+
+// beginCellBench snapshots the clocks before a simulation starts.
+func beginCellBench(name string) cellBenchRec {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return cellBenchRec{
+		bench:   CellBench{Cell: name},
+		start:   time.Now(),
+		mallocs: ms.Mallocs,
+	}
+}
+
+// finish closes the measurement. Mallocs is process-wide, so under a
+// parallel sweep the per-cell delta is approximate (it includes
+// allocations of cells running concurrently); at -j 1 it is exact.
+func (r *cellBenchRec) finish(simCycles uint64) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	r.bench.SimCycles = simCycles
+	r.bench.WallclockNS = time.Since(r.start).Nanoseconds()
+	r.bench.Allocs = ms.Mallocs - r.mallocs
+}
+
+// cellName builds the stable identifier a CellBench is reported under.
+func cellName(kind core.Kind, traits *htm.Traits, bench string, seed uint64, labelSeed bool) string {
+	name := fmt.Sprintf("%s/%s", kind, bench)
+	if tk := traitsKey(traits); tk != "" {
+		name += "/" + tk
+	}
+	if labelSeed {
+		name += fmt.Sprintf("/seed=%d", seed)
+	}
+	return name
+}
+
+// WriteBenchJSON emits the bench trajectory of every simulation the
+// suite has executed, sorted by cell name so the output is stable
+// regardless of sweep scheduling.
+func (s *Suite) WriteBenchJSON(w io.Writer, workers int, total time.Duration) error {
+	s.mu.Lock()
+	cells := make([]CellBench, len(s.bench))
+	copy(cells, s.bench)
+	runs := s.Runs
+	s.mu.Unlock()
+	sort.Slice(cells, func(i, j int) bool { return cells[i].Cell < cells[j].Cell })
+	rep := BenchReport{
+		Schema:           benchSchema,
+		Workers:          workers,
+		Size:             s.p.Size.String(),
+		Runs:             runs,
+		TotalWallclockNS: total.Nanoseconds(),
+		Cells:            cells,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

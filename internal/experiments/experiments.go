@@ -7,11 +7,13 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"chats/internal/core"
 	"chats/internal/htm"
 	"chats/internal/machine"
 	"chats/internal/stats"
+	"chats/internal/sweep"
 	"chats/internal/workloads"
 )
 
@@ -25,7 +27,19 @@ type Params struct {
 	// single run with Machine.Seed).
 	Seeds int
 	// Verbose, when non-nil, receives a progress line per simulation.
+	// Under Workers > 1 the lines appear in completion order, but every
+	// cell's statistics are identical to a serial run (each cell owns its
+	// engine, machine and workload, so results are bit-reproducible
+	// regardless of scheduling).
 	Verbose io.Writer
+	// Workers bounds how many simulation cells the figure functions run
+	// concurrently (0 or 1 = serial; cmd/chats-experiments wires -j
+	// here). Only wall clock changes with Workers — never results.
+	Workers int
+	// Tracer, when non-nil, builds a fresh tracer per simulation. A
+	// telemetry.Collector is per-run state and must NOT be shared across
+	// parallel cells; this factory makes one collector per cell instead.
+	Tracer func() machine.Tracer
 }
 
 // DefaultParams returns the figure-regeneration setup.
@@ -41,16 +55,68 @@ type runKey struct {
 
 // Suite runs (and memoizes) simulations; the main-matrix runs are shared
 // by Figs. 1, 4, 5, 6 and 7, like the artifact's config.chats.main.py.
+// The figure functions fan their cells out over Params.Workers
+// goroutines; the Suite's shared state (cache, Runs, bench log, Verbose
+// writer) is mutex-guarded, while each simulation itself is confined to
+// one goroutine.
 type Suite struct {
-	p     Params
+	p  Params
+	mu sync.Mutex // guards cache, Runs, bench, Verbose output
 	cache map[runKey]machine.RunStats
 	// Runs counts distinct simulations executed.
-	Runs int
+	Runs  int
+	bench []CellBench
 }
 
 // NewSuite builds an empty suite.
 func NewSuite(p Params) *Suite {
 	return &Suite{p: p, cache: make(map[runKey]machine.RunStats)}
+}
+
+// cell identifies one simulation of a figure grid before it runs.
+type cell struct {
+	kind   core.Kind
+	traits *htm.Traits
+	bench  string
+}
+
+// prime simulates every not-yet-cached cell of a figure, fanning them
+// out over Params.Workers goroutines. The figure functions call it
+// before building their tables, so the table loops below always hit the
+// cache and stay strictly ordered; only the simulations themselves run
+// concurrently. Duplicate cells (shared baselines) are deduplicated, so
+// Runs counts exactly the distinct simulations.
+func (s *Suite) prime(cells []cell) error {
+	var todo []cell
+	seen := make(map[runKey]bool, len(cells))
+	s.mu.Lock()
+	for _, c := range cells {
+		k := runKey{system: c.kind, traits: traitsKey(c.traits), bench: c.bench}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		if _, ok := s.cache[k]; ok {
+			continue
+		}
+		todo = append(todo, c)
+	}
+	s.mu.Unlock()
+	if len(todo) == 0 {
+		return nil
+	}
+	var progress sweep.Progress
+	if s.p.Verbose != nil && s.p.Workers > 1 {
+		progress = func(done, total int) {
+			s.mu.Lock() // all Verbose writes go through s.mu
+			fmt.Fprintf(s.p.Verbose, "sweep: %d/%d cells\n", done, total)
+			s.mu.Unlock()
+		}
+	}
+	return sweep.Map(s.p.Workers, len(todo), progress, func(i int) error {
+		_, err := s.Run(todo[i].kind, todo[i].traits, todo[i].bench)
+		return err
+	})
 }
 
 func traitsKey(t *htm.Traits) string {
@@ -62,34 +128,41 @@ func traitsKey(t *htm.Traits) string {
 }
 
 // Run simulates one (system, traits, bench) cell, memoized, averaging
-// over Params.Seeds seeds.
+// over Params.Seeds seeds. Safe for concurrent use; callers that need a
+// whole grid should go through the figure functions (which prime the
+// cache in parallel) rather than racing duplicate cells here.
 func (s *Suite) Run(kind core.Kind, traits *htm.Traits, bench string) (machine.RunStats, error) {
 	k := runKey{system: kind, traits: traitsKey(traits), bench: bench}
+	s.mu.Lock()
 	if st, ok := s.cache[k]; ok {
+		s.mu.Unlock()
 		return st, nil
 	}
+	s.mu.Unlock()
 	seeds := s.p.Seeds
 	if seeds < 1 {
 		seeds = 1
 	}
 	var runs []machine.RunStats
 	for i := 0; i < seeds; i++ {
-		st, err := s.runOnce(kind, traits, bench, s.p.Machine.Seed+uint64(i))
+		st, err := s.runOnce(kind, traits, bench, s.p.Machine.Seed+uint64(i), seeds > 1)
 		if err != nil {
 			return machine.RunStats{}, err
 		}
 		runs = append(runs, st)
 	}
 	st := average(runs)
+	s.mu.Lock()
 	s.cache[k] = st
 	if s.p.Verbose != nil {
 		fmt.Fprintf(s.p.Verbose, "ran %-18s %-10s %12d cycles  %6d commits  %6d aborts\n",
 			kind, bench, st.Cycles, st.Commits, st.Aborts)
 	}
+	s.mu.Unlock()
 	return st, nil
 }
 
-func (s *Suite) runOnce(kind core.Kind, traits *htm.Traits, bench string, seed uint64) (machine.RunStats, error) {
+func (s *Suite) runOnce(kind core.Kind, traits *htm.Traits, bench string, seed uint64, labelSeed bool) (machine.RunStats, error) {
 	w, err := workloads.New(bench, s.p.Size)
 	if err != nil {
 		return machine.RunStats{}, err
@@ -109,11 +182,21 @@ func (s *Suite) runOnce(kind core.Kind, traits *htm.Traits, bench string, seed u
 	if err != nil {
 		return machine.RunStats{}, err
 	}
+	if s.p.Tracer != nil {
+		if t := s.p.Tracer(); t != nil {
+			m.SetTracer(t)
+		}
+	}
+	rec := beginCellBench(cellName(kind, traits, bench, seed, labelSeed))
 	st, err := m.Run(w)
 	if err != nil {
 		return machine.RunStats{}, err
 	}
+	rec.finish(st.Cycles)
+	s.mu.Lock()
 	s.Runs++
+	s.bench = append(s.bench, rec.bench)
+	s.mu.Unlock()
 	return st, nil
 }
 
@@ -135,7 +218,9 @@ func average(runs []machine.RunStats) machine.RunStats {
 	agg(func(r *machine.RunStats) *uint64 { return &r.Cycles })
 	agg(func(r *machine.RunStats) *uint64 { return &r.Commits })
 	agg(func(r *machine.RunStats) *uint64 { return &r.Aborts })
-	for c := range out.ByCause {
+	// Fold causes in ascending index order so the per-cause tables (and
+	// their goldens) come out byte-stable run over run.
+	for c := 0; c < htm.NumCauses; c++ {
 		c := c
 		agg(func(r *machine.RunStats) *uint64 { return &r.ByCause[c] })
 	}
@@ -171,9 +256,25 @@ func sysNames(ks []core.Kind) []string {
 	return ns
 }
 
+// mainMatrixCells enumerates the (systems × benchmarks) grid plus the
+// baseline column the normalizations divide by.
+func mainMatrixCells(systems []core.Kind) []cell {
+	var cells []cell
+	for _, b := range workloads.AllNames() {
+		cells = append(cells, cell{kind: core.KindBaseline, bench: b})
+		for _, k := range systems {
+			cells = append(cells, cell{kind: k, bench: b})
+		}
+	}
+	return cells
+}
+
 // normTimeTable builds a rows=benchmarks, cols=systems table of execution
 // time normalized to the baseline, with means over the STAMP subset.
 func (s *Suite) normTimeTable(title string, systems []core.Kind) (*stats.Table, error) {
+	if err := s.prime(mainMatrixCells(systems)); err != nil {
+		return nil, err
+	}
 	t := stats.NewTable(title, workloads.AllNames(), sysNames(systems))
 	t.Note = "execution time normalized to baseline (lower is better); means over STAMP only"
 	for _, b := range workloads.AllNames() {
@@ -209,6 +310,9 @@ func (s *Suite) Fig4() (*stats.Table, error) {
 // (total aborted transactions normalized to baseline) plus one absolute
 // per-cause table per system.
 func (s *Suite) Fig5() ([]*stats.Table, error) {
+	if err := s.prime(mainMatrixCells(mainSystems())); err != nil {
+		return nil, err
+	}
 	summary := stats.NewTable("Fig. 5: aborted transactions (normalized to baseline)",
 		workloads.AllNames(), sysNames(mainSystems()))
 	var tables []*stats.Table
@@ -244,6 +348,9 @@ func (s *Suite) Fig5() ([]*stats.Table, error) {
 // for each system, the fraction of executed transactions that conflicted
 // (and, where applicable, forwarded), split by commit/abort.
 func (s *Suite) Fig6() ([]*stats.Table, error) {
+	if err := s.prime(mainMatrixCells(mainSystems())); err != nil {
+		return nil, err
+	}
 	var tables []*stats.Table
 	cols := []string{"conflicted-committed", "conflicted-aborted", "forwarder-committed", "forwarder-aborted"}
 	for _, k := range mainSystems() {
@@ -268,6 +375,9 @@ func (s *Suite) Fig6() ([]*stats.Table, error) {
 
 // Fig7 reproduces the normalized network usage in flits.
 func (s *Suite) Fig7() (*stats.Table, error) {
+	if err := s.prime(mainMatrixCells(mainSystems())); err != nil {
+		return nil, err
+	}
 	t := stats.NewTable("Fig. 7: network usage (flits, normalized to baseline)",
 		workloads.AllNames(), sysNames(mainSystems()))
 	for _, b := range workloads.AllNames() {

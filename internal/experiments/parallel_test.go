@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"testing"
+
+	"chats/internal/core"
+	"chats/internal/machine"
+	"chats/internal/telemetry"
+	"chats/internal/workloads"
+)
+
+// parallelGrid is a small but heterogeneous cell set: every system kind
+// of the main matrix across two benchmarks.
+func parallelGrid() []cell {
+	var cells []cell
+	for _, b := range []string{"intruder", "cadd"} {
+		for _, k := range mainSystems() {
+			cells = append(cells, cell{kind: k, bench: b})
+		}
+	}
+	return cells
+}
+
+func gridStats(t *testing.T, p Params) map[runKey]machine.RunStats {
+	t.Helper()
+	s := NewSuite(p)
+	if err := s.prime(parallelGrid()); err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[runKey]machine.RunStats)
+	for _, c := range parallelGrid() {
+		st, err := s.Run(c.kind, c.traits, c.bench)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[runKey{system: c.kind, traits: traitsKey(c.traits), bench: c.bench}] = st
+	}
+	return out
+}
+
+// TestParallelSweepMatchesSerial is the tentpole determinism guarantee:
+// every cell's statistics must be bit-identical between -j 1 and -j N.
+// RunStats is a comparable struct (counters and a fixed-size array), so
+// == compares every field exactly.
+func TestParallelSweepMatchesSerial(t *testing.T) {
+	p := DefaultParams()
+	p.Size = workloads.Small
+	serial := gridStats(t, p)
+
+	for _, workers := range []int{4, 16} {
+		pp := p
+		pp.Workers = workers
+		par := gridStats(t, pp)
+		if len(par) != len(serial) {
+			t.Fatalf("workers=%d: %d cells, want %d", workers, len(par), len(serial))
+		}
+		for k, want := range serial {
+			if got := par[k]; got != want {
+				t.Errorf("workers=%d: cell %+v diverged:\n  serial   %+v\n  parallel %+v", workers, k, want, got)
+			}
+		}
+	}
+}
+
+// TestParallelSweepWithTelemetry runs a small sweep at -j 4 with a
+// fresh telemetry.Collector per cell via Params.Tracer; under -race
+// this checks the documented discipline that collectors are per-run
+// state and the Suite's shared bookkeeping is properly locked.
+func TestParallelSweepWithTelemetry(t *testing.T) {
+	p := DefaultParams()
+	p.Size = workloads.Small
+	p.Workers = 4
+	p.Tracer = func() machine.Tracer {
+		return telemetry.New(p.Machine.Cores, telemetry.Options{MaxEvents: 1024})
+	}
+	s := NewSuite(p)
+	if err := s.prime(parallelGrid()); err != nil {
+		t.Fatal(err)
+	}
+	if s.Runs != len(parallelGrid()) {
+		t.Fatalf("Runs = %d, want %d", s.Runs, len(parallelGrid()))
+	}
+	// Traced runs must still produce the untraced results.
+	st, err := s.Run(core.KindCHATS, nil, "cadd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Commits == 0 {
+		t.Fatal("traced parallel run produced no commits")
+	}
+}

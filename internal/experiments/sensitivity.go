@@ -14,34 +14,44 @@ import (
 // R/W (as in the paper).
 func (s *Suite) Fig8() (*stats.Table, error) {
 	type variant struct {
-		col  string
-		kind core.Kind
-		mode htm.ForwardMode
+		col    string
+		kind   core.Kind
+		mode   htm.ForwardMode
+		traits *htm.Traits
 	}
 	variants := []variant{
-		{"chats-R/W", core.KindCHATS, htm.ForwardRW},
-		{"chats-W", core.KindCHATS, htm.ForwardW},
-		{"chats-Rr/W", core.KindCHATS, htm.ForwardRrestrictW},
-		{"pchats-R/W", core.KindPCHATS, htm.ForwardRW},
-		{"pchats-W", core.KindPCHATS, htm.ForwardW},
-		{"pchats-Rr/W", core.KindPCHATS, htm.ForwardRrestrictW},
+		{col: "chats-R/W", kind: core.KindCHATS, mode: htm.ForwardRW},
+		{col: "chats-W", kind: core.KindCHATS, mode: htm.ForwardW},
+		{col: "chats-Rr/W", kind: core.KindCHATS, mode: htm.ForwardRrestrictW},
+		{col: "pchats-R/W", kind: core.KindPCHATS, mode: htm.ForwardRW},
+		{col: "pchats-W", kind: core.KindPCHATS, mode: htm.ForwardW},
+		{col: "pchats-Rr/W", kind: core.KindPCHATS, mode: htm.ForwardRrestrictW},
 	}
 	cols := make([]string, len(variants))
-	for i, v := range variants {
+	var cells []cell
+	for i := range variants {
+		v := &variants[i]
 		cols[i] = v.col
+		p, err := core.New(v.kind)
+		if err != nil {
+			return nil, err
+		}
+		tr := p.Traits()
+		tr.ForwardMode = v.mode
+		v.traits = &tr
+		for _, b := range workloads.AllNames() {
+			cells = append(cells, cell{kind: v.kind, traits: v.traits, bench: b})
+		}
+	}
+	if err := s.prime(cells); err != nil {
+		return nil, err
 	}
 	t := stats.NewTable("Fig. 8: blocks eligible for forwarding (normalized to CHATS R/W)",
 		workloads.AllNames(), cols)
 	for _, b := range workloads.AllNames() {
 		var ref uint64
 		for i, v := range variants {
-			p, err := core.New(v.kind)
-			if err != nil {
-				return nil, err
-			}
-			tr := p.Traits()
-			tr.ForwardMode = v.mode
-			st, err := s.Run(v.kind, &tr, b)
+			st, err := s.Run(v.kind, v.traits, b)
 			if err != nil {
 				return nil, err
 			}
@@ -69,6 +79,31 @@ func (s *Suite) Fig9(systems []core.Kind) ([]*stats.Table, error) {
 	for i, r := range Fig9Retries {
 		cols[i] = fmt.Sprintf("r=%d", r)
 	}
+	// One traits object per (system, retry budget), shared by priming and
+	// the table loops so the memo keys line up.
+	traits := make(map[core.Kind][]*htm.Traits, len(systems))
+	var cells []cell
+	for _, b := range workloads.AllNames() {
+		cells = append(cells, cell{kind: core.KindBaseline, bench: b})
+	}
+	for _, k := range systems {
+		p, err := core.New(k)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range Fig9Retries {
+			tr := p.Traits()
+			tr.Retries = r
+			trp := &tr
+			traits[k] = append(traits[k], trp)
+			for _, b := range workloads.AllNames() {
+				cells = append(cells, cell{kind: k, traits: trp, bench: b})
+			}
+		}
+	}
+	if err := s.prime(cells); err != nil {
+		return nil, err
+	}
 	var tables []*stats.Table
 	for _, k := range systems {
 		t := stats.NewTable(fmt.Sprintf("Fig. 9: retry sensitivity, %s (normalized to baseline r=6)", k),
@@ -78,14 +113,8 @@ func (s *Suite) Fig9(systems []core.Kind) ([]*stats.Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			for i, r := range Fig9Retries {
-				p, err := core.New(k)
-				if err != nil {
-					return nil, err
-				}
-				tr := p.Traits()
-				tr.Retries = r
-				st, err := s.Run(k, &tr, b)
+			for i := range Fig9Retries {
+				st, err := s.Run(k, traits[k][i], b)
 				if err != nil {
 					return nil, err
 				}
@@ -121,17 +150,34 @@ func (s *Suite) Fig10() ([]*stats.Table, error) {
 	abortT := stats.NewTable("Fig. 10 (right): aborts vs VSB size and validation interval", rows, cols)
 	abortT.Note = "geomean over STAMP, normalized to vsb=1/val=50"
 
-	cell := func(vsb int, iv uint64) (float64, float64, error) {
-		var times, aborts []float64
-		for _, b := range workloads.STAMPNames() {
-			p, err := core.New(core.KindCHATS)
-			if err != nil {
-				return 0, 0, err
-			}
+	// One traits object per (vsb, interval) square, shared by priming and
+	// the heatmap loop so the memo keys line up.
+	p, err := core.New(core.KindCHATS)
+	if err != nil {
+		return nil, err
+	}
+	traits := make(map[[2]uint64]*htm.Traits)
+	var cells []cell
+	for _, vsb := range Fig10VSBSizes {
+		for _, iv := range Fig10Intervals {
 			tr := p.Traits()
 			tr.VSBSize = vsb
 			tr.ValidationInterval = iv
-			st, err := s.Run(core.KindCHATS, &tr, b)
+			trp := &tr
+			traits[[2]uint64{uint64(vsb), iv}] = trp
+			for _, b := range workloads.STAMPNames() {
+				cells = append(cells, cell{kind: core.KindCHATS, traits: trp, bench: b})
+			}
+		}
+	}
+	if err := s.prime(cells); err != nil {
+		return nil, err
+	}
+
+	square := func(vsb int, iv uint64) (float64, float64, error) {
+		var times, aborts []float64
+		for _, b := range workloads.STAMPNames() {
+			st, err := s.Run(core.KindCHATS, traits[[2]uint64{uint64(vsb), iv}], b)
 			if err != nil {
 				return 0, 0, err
 			}
@@ -141,13 +187,13 @@ func (s *Suite) Fig10() ([]*stats.Table, error) {
 		return stats.GeoMean(times), stats.GeoMean(aborts), nil
 	}
 
-	refT, refA, err := cell(1, 50)
+	refT, refA, err := square(1, 50)
 	if err != nil {
 		return nil, err
 	}
 	for _, vsb := range Fig10VSBSizes {
 		for _, iv := range Fig10Intervals {
-			ct, ca, err := cell(vsb, iv)
+			ct, ca, err := square(vsb, iv)
 			if err != nil {
 				return nil, err
 			}

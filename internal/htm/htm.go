@@ -152,13 +152,24 @@ func NewTxState(vsbSize int) *TxState {
 // to commit).
 func (t *TxState) InTx() bool { return t.Status == Active || t.Status == Committing }
 
-// Begin resets the state for a new attempt.
+// Begin resets the state for a new attempt. The signature and write-set
+// maps are reused across attempts (cleared, not reallocated): a core
+// begins a transaction every few hundred simulated cycles, and the two
+// map allocations per attempt dominated the steady-state heap churn.
 func (t *TxState) Begin(attempt int, naiveBudget int) {
 	t.Status = Active
 	t.Epoch++
 	t.Attempt = attempt
-	t.ReadSig = make(map[mem.Addr]struct{})
-	t.WriteSet = make(map[mem.Addr]struct{})
+	if t.ReadSig == nil {
+		t.ReadSig = make(map[mem.Addr]struct{})
+	} else {
+		clear(t.ReadSig)
+	}
+	if t.WriteSet == nil {
+		t.WriteSet = make(map[mem.Addr]struct{})
+	} else {
+		clear(t.WriteSet)
+	}
 	t.PiC = coherence.PiCNone
 	t.Cons = false
 	t.VSB.Clear()
@@ -179,8 +190,8 @@ func (t *TxState) MarkAborted(cause AbortCause) {
 	t.Status = Aborted
 	t.Epoch++
 	t.Cause = cause
-	t.ReadSig = nil
-	t.WriteSet = nil
+	clear(t.ReadSig)
+	clear(t.WriteSet)
 	t.PiC = coherence.PiCNone
 	t.Cons = false
 	t.VSB.Clear()
@@ -191,8 +202,8 @@ func (t *TxState) MarkAborted(cause AbortCause) {
 func (t *TxState) Finish() {
 	t.Status = Idle
 	t.Epoch++
-	t.ReadSig = nil
-	t.WriteSet = nil
+	clear(t.ReadSig)
+	clear(t.WriteSet)
 	t.PiC = coherence.PiCNone
 	t.Cons = false
 	t.Power = false

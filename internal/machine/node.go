@@ -27,6 +27,10 @@ type Node struct {
 	rng    *sim.Rand
 
 	wbPending map[mem.Addr]*pendingWB
+	// wbFree recycles pendingWB objects once their delivery message has
+	// run; dirty evictions are frequent enough in the capacity-bound
+	// workloads that the per-eviction allocation showed up in profiles.
+	wbFree []*pendingWB
 
 	// pendingStore is the line of the in-flight demand GetX, if any — the
 	// Rrestrict/W heuristic's "currently in-flight write from the local
@@ -92,7 +96,8 @@ func (n *Node) handleVictim(v *cache.Victim) {
 		panic("machine: replacement evicted an SM line")
 	}
 	if v.State == cache.Modified && v.Dirty {
-		wb := &pendingWB{data: v.Data}
+		wb := n.allocWB()
+		wb.data = v.Data
 		n.wbPending[v.Tag] = wb
 		tag := v.Tag
 		n.m.net.SendData(func() {
@@ -100,10 +105,33 @@ func (n *Node) handleVictim(v *cache.Victim) {
 				delete(n.wbPending, tag)
 			}
 			n.m.dir.WriteBack(tag, wb.data, n.id, &wb.cancelled)
+			// The delivery message runs exactly once per writeback and is
+			// the last reference (probe service and reinstall both remove
+			// the entry from wbPending but copy the data out), so this is
+			// the one safe recycling point.
+			n.freeWB(wb)
 		})
 	}
 	// Clean lines (E, M-clean, S) drop silently; the directory tolerates
 	// it because the memory image holds their committed value.
+}
+
+// allocWB takes a writeback-buffer entry from the free list (or the
+// heap on first use), reset for a fresh writeback.
+func (n *Node) allocWB() *pendingWB {
+	if l := len(n.wbFree); l > 0 {
+		wb := n.wbFree[l-1]
+		n.wbFree[l-1] = nil
+		n.wbFree = n.wbFree[:l-1]
+		wb.cancelled = false
+		return wb
+	}
+	return &pendingWB{}
+}
+
+// freeWB recycles an entry whose delivery message has run.
+func (n *Node) freeWB(wb *pendingWB) {
+	n.wbFree = append(n.wbFree, wb)
 }
 
 // reinstall recovers a line whose writeback is still in flight (a hit in

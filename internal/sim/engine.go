@@ -13,11 +13,17 @@ import (
 )
 
 // Event is a callback scheduled to run at a specific cycle.
+//
+// The pointer returned by Schedule stays valid until the event fires or
+// is cancelled; after that the engine may recycle the object for a later
+// Schedule call, so holders must drop the pointer once it fires (the
+// machine's validation timer clears its handle inside the callback for
+// exactly this reason).
 type Event struct {
 	cycle uint64
 	seq   uint64
 	fn    func()
-	index int // heap index; -1 once popped or cancelled
+	index int // heap index; -1 once popped, -2 once cancelled
 }
 
 // Cancelled reports whether the event was removed before firing.
@@ -59,6 +65,10 @@ type Engine struct {
 	seq    uint64
 	events eventHeap
 	fired  uint64
+	// free recycles Event objects popped or cancelled, so the steady-state
+	// schedule/fire cycle allocates nothing (a simulation schedules one
+	// event per latency hop, which dominated the heap profile before).
+	free []*Event
 }
 
 // Now returns the current simulation cycle.
@@ -71,12 +81,24 @@ func (e *Engine) Fired() uint64 { return e.fired }
 func (e *Engine) Pending() int { return len(e.events) }
 
 // Schedule runs fn delay cycles from now. A delay of zero runs fn after
-// all events already scheduled for the current cycle.
+// all events already scheduled for the current cycle. The returned
+// handle may be passed to Cancel, but is only valid until the event
+// fires or is cancelled (see Event).
 func (e *Engine) Schedule(delay uint64, fn func()) *Event {
 	if fn == nil {
 		panic("sim: Schedule called with nil fn")
 	}
-	ev := &Event{cycle: e.now + delay, seq: e.seq, fn: fn}
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		ev.cycle = e.now + delay
+		ev.seq = e.seq
+		ev.fn = fn
+	} else {
+		ev = &Event{cycle: e.now + delay, seq: e.seq, fn: fn}
+	}
 	e.seq++
 	heap.Push(&e.events, ev)
 	return ev
@@ -90,6 +112,10 @@ func (e *Engine) Cancel(ev *Event) {
 	}
 	heap.Remove(&e.events, ev.index)
 	ev.index = -2
+	// Recycle: the object keeps reporting Cancelled() until Schedule
+	// hands it out again.
+	ev.fn = nil
+	e.free = append(e.free, ev)
 }
 
 // Step fires the next event, advancing the clock to its cycle.
@@ -104,7 +130,12 @@ func (e *Engine) Step() bool {
 	}
 	e.now = ev.cycle
 	e.fired++
-	ev.fn()
+	fn := ev.fn
+	fn()
+	// The callback may observe its own popped handle (index -1), so the
+	// object joins the free list only after it returns.
+	ev.fn = nil
+	e.free = append(e.free, ev)
 	return true
 }
 

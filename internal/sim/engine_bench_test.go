@@ -1,0 +1,52 @@
+// Benchmarks pinning the scheduling hot path. The steady-state
+// schedule/fire cycle must not allocate: every simulated latency hop
+// (cache lookups, network messages, directory accesses) schedules one
+// event, so a per-event allocation shows up directly in sweep wall
+// clock. Run as:
+//
+//	go test -bench 'Schedule|Timer' -benchmem ./internal/sim
+package sim
+
+import "testing"
+
+// BenchmarkScheduleFire is the core loop: one event scheduled and fired
+// per iteration. With the free list engaged this is 0 allocs/op.
+func BenchmarkScheduleFire(b *testing.B) {
+	var e Engine
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(1, fn)
+		e.Step()
+	}
+}
+
+// BenchmarkScheduleFireDeep keeps a standing queue of 64 events so the
+// heap sift cost at realistic occupancy is measured too.
+func BenchmarkScheduleFireDeep(b *testing.B) {
+	var e Engine
+	fn := func() {}
+	for i := 0; i < 64; i++ {
+		e.Schedule(uint64(1+i%7), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(uint64(1+i%7), fn)
+		e.Step()
+	}
+}
+
+// BenchmarkTimerCancelReschedule models the machine's validation-timer
+// pattern: arm, cancel, re-arm. Pure free-list churn, 0 allocs/op.
+func BenchmarkTimerCancelReschedule(b *testing.B) {
+	var e Engine
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := e.Schedule(10, fn)
+		e.Cancel(ev)
+	}
+}

@@ -33,7 +33,9 @@ func TestZeroDelayRunsSameCycleAfterExisting(t *testing.T) {
 		e.Schedule(0, func() { got = append(got, 3) })
 	})
 	e.Schedule(0, func() { got = append(got, 2) })
-	e.Run(0)
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
 	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
 		t.Fatalf("order = %v, want [1 2 3]", got)
 	}
@@ -54,6 +56,112 @@ func TestCancel(t *testing.T) {
 	}
 	if !ev.Cancelled() {
 		t.Fatal("event should report cancelled")
+	}
+}
+
+// TestCancelIndexStates pins the Event.index lifecycle the free-list
+// recycling relies on: >= 0 while queued, -1 once popped (fired), -2 once
+// cancelled. Only the -2 state reports Cancelled().
+func TestCancelIndexStates(t *testing.T) {
+	var e Engine
+	var fired *Event
+	fired = e.Schedule(1, func() {
+		if fired.index != -1 {
+			t.Errorf("index during own callback = %d, want -1", fired.index)
+		}
+	})
+	cancelled := e.Schedule(2, func() { t.Error("cancelled event fired") })
+	if fired.index < 0 || cancelled.index < 0 {
+		t.Fatalf("queued indices = %d, %d; want >= 0", fired.index, cancelled.index)
+	}
+	if fired.Cancelled() || cancelled.Cancelled() {
+		t.Fatal("queued events report Cancelled")
+	}
+	e.Cancel(cancelled)
+	if cancelled.index != -2 {
+		t.Fatalf("cancelled index = %d, want -2", cancelled.index)
+	}
+	if !cancelled.Cancelled() {
+		t.Fatal("cancelled event does not report Cancelled")
+	}
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if fired.index != -1 {
+		t.Fatalf("fired index = %d, want -1", fired.index)
+	}
+	if fired.Cancelled() {
+		t.Fatal("fired event reports Cancelled")
+	}
+}
+
+// TestFreeListRecycles proves the free list is engaged: an Event object
+// that fired (or was cancelled) backs a later Schedule call, and the
+// recycled incarnation behaves like a fresh one.
+func TestFreeListRecycles(t *testing.T) {
+	var e Engine
+	first := e.Schedule(1, func() {})
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	second := e.Schedule(1, func() {})
+	if first != second {
+		t.Fatal("fired event was not recycled by the next Schedule")
+	}
+	if second.Cancelled() || second.index < 0 {
+		t.Fatalf("recycled event in bad state: index=%d", second.index)
+	}
+	e.Cancel(second)
+	third := e.Schedule(3, func() {})
+	if third != second {
+		t.Fatal("cancelled event was not recycled by the next Schedule")
+	}
+	if third.Cancelled() {
+		t.Fatal("recycled event still reports Cancelled")
+	}
+	fired := false
+	e.Schedule(1, func() { fired = true })
+	e.Cancel(third)
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("unrelated event lost after recycling churn")
+	}
+	if e.Now() != 1+1 {
+		t.Fatalf("Now = %d, want 2", e.Now())
+	}
+}
+
+// TestFreeListOrderingUnchanged re-runs the ordering property through
+// enough schedule/fire/cancel churn that most events are recycled ones.
+func TestFreeListOrderingUnchanged(t *testing.T) {
+	var e Engine
+	r := NewRand(17)
+	var fireOrder []uint64
+	var pending []*Event
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 20; i++ {
+			pending = append(pending, e.Schedule(r.Uint64n(16), func() {
+				fireOrder = append(fireOrder, e.Now())
+			}))
+		}
+		// Cancel a deterministic subset while still queued.
+		for i := 0; i < len(pending); i += 3 {
+			e.Cancel(pending[i])
+		}
+		pending = pending[:0]
+		if _, err := e.Run(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i < len(fireOrder); i++ {
+		if fireOrder[i] < fireOrder[i-1] {
+			t.Fatalf("cycle order regressed at %d: %d < %d", i, fireOrder[i], fireOrder[i-1])
+		}
+	}
+	if len(fireOrder) == 0 {
+		t.Fatal("nothing fired")
 	}
 }
 

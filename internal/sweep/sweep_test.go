@@ -1,0 +1,93 @@
+package sweep
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapRunsEveryCell(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		n := 37
+		results := make([]int, n)
+		err := Map(workers, n, nil, func(i int) error {
+			results[i] = i + 1
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range results {
+			if v != i+1 {
+				t.Fatalf("workers=%d: cell %d = %d, want %d", workers, i, v, i+1)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	if err := Map(4, 0, nil, func(int) error { t.Fatal("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapReturnsLowestIndexedError(t *testing.T) {
+	wantErr := errors.New("cell 3 broke")
+	otherErr := errors.New("cell 11 broke")
+	for _, workers := range []int{1, 4} {
+		err := Map(workers, 20, nil, func(i int) error {
+			switch i {
+			case 3:
+				return wantErr
+			case 11:
+				return otherErr
+			}
+			return nil
+		})
+		if !errors.Is(err, wantErr) {
+			t.Fatalf("workers=%d: err = %v, want %v", workers, err, wantErr)
+		}
+	}
+}
+
+func TestMapCancelsAfterError(t *testing.T) {
+	var ran atomic.Int64
+	err := Map(2, 1000, nil, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return errors.New("boom")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("error swallowed")
+	}
+	// Cells already claimed may finish, but the bulk must be skipped.
+	if got := ran.Load(); got > 100 {
+		t.Fatalf("ran %d cells after early error", got)
+	}
+}
+
+func TestMapProgressIsMonotonicAndComplete(t *testing.T) {
+	for _, workers := range []int{1, 5} {
+		var calls []int
+		n := 23
+		err := Map(workers, n, func(done, total int) {
+			if total != n {
+				t.Fatalf("total = %d, want %d", total, n)
+			}
+			calls = append(calls, done) // Progress is never concurrent
+		}, func(int) error { return nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(calls) != n {
+			t.Fatalf("workers=%d: %d progress calls, want %d", workers, len(calls), n)
+		}
+		for i := 1; i < len(calls); i++ {
+			if calls[i] <= calls[i-1] {
+				t.Fatalf("progress not monotonic: %v", calls)
+			}
+		}
+	}
+}

@@ -32,6 +32,13 @@ type coreState struct {
 // machine.Tracer and machine.XTracer structurally) and aggregates it
 // into metrics, a hot-line profile and chain topology, while retaining
 // the raw events for the JSONL / Chrome exports.
+//
+// A Collector is per-run state and is NOT goroutine-safe: it mutates
+// maps, slices and per-core bookkeeping on every event without locking.
+// Attach each Collector to exactly one machine. Under the parallel
+// sweep runner, build one Collector per cell (experiments.Params.Tracer
+// is a factory for exactly this reason) — never share one across
+// concurrently running simulations.
 type Collector struct {
 	Events  []Event
 	Dropped uint64
