@@ -6,6 +6,7 @@
 //	chats-experiments -fig 4 -size small
 //	chats-experiments -fig 1,4,7 -v
 //	chats-experiments -fig 4 -j 4 -bench-json bench.json
+//	chats-experiments -faults-soak -size tiny -j 4   # fault soak + invariants
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 
 	"chats"
 	"chats/internal/experiments"
+	"chats/internal/faults"
 	"chats/internal/machine"
 	"chats/internal/stats"
 	"chats/internal/telemetry"
@@ -37,6 +39,8 @@ func main() {
 		profSys   = flag.String("profile-system", "chats", "system to profile with -profile")
 		jobs      = flag.Int("j", runtime.NumCPU(), "simulation cells to run in parallel (results are identical at any -j)")
 		benchJSON = flag.String("bench-json", "", "write a machine-readable bench trajectory {cell, simcycles, wallclock_ns, allocs} to this file")
+		soak      = flag.Bool("faults-soak", false, "instead of figures, run every system × micro bench under the fault plan with invariants and the watchdog on")
+		faultSpec = flag.String("faults", "", "fault spec for -faults-soak (default: the canonical all-kinds soak plan)")
 	)
 	flag.Parse()
 
@@ -50,6 +54,12 @@ func main() {
 		}
 		return
 	}
+	if *soak {
+		if err := runSoak(sz, *seed, *jobs, *faultSpec, *verbose); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	p := experiments.Params{Size: sz, Machine: machine.DefaultConfig(), Seeds: *seeds, Workers: *jobs}
 	p.Machine.Seed = *seed
 	if *verbose {
@@ -58,14 +68,26 @@ func main() {
 	suite := experiments.NewSuite(p)
 	start := time.Now()
 
+	validFigs := []string{"1", "4", "5", "6", "7", "8", "9", "10", "11"}
 	want := map[string]bool{}
 	if *figs == "all" {
-		for _, f := range []string{"1", "4", "5", "6", "7", "8", "9", "10", "11"} {
+		for _, f := range validFigs {
 			want[f] = true
 		}
 	} else {
 		for _, f := range strings.Split(*figs, ",") {
-			want[strings.TrimSpace(f)] = true
+			f = strings.TrimSpace(f)
+			known := false
+			for _, v := range validFigs {
+				if f == v {
+					known = true
+					break
+				}
+			}
+			if !known {
+				fatal(fmt.Errorf("unknown figure %q (known: %s, or 'all')", f, strings.Join(validFigs, ",")))
+			}
+			want[f] = true
 		}
 	}
 
@@ -154,6 +176,35 @@ func main() {
 		}
 	}
 	fmt.Fprintf(os.Stderr, "total simulations: %d\n", suite.Runs)
+}
+
+// runSoak runs the fault soak: every system × micro bench under the
+// fault plan with the invariant checker and livelock watchdog armed.
+// Partial results are reported — a failing cell never hides the rest.
+func runSoak(sz workloads.Size, seed uint64, jobs int, spec string, verbose bool) error {
+	p := experiments.Params{
+		Size:           sz,
+		Machine:        machine.DefaultConfig(),
+		Workers:        jobs,
+		WatchdogCycles: 10_000_000,
+	}
+	p.Machine.Seed = seed
+	if verbose {
+		p.Verbose = os.Stderr
+	}
+	if spec != "" {
+		plan, err := faults.Parse(spec)
+		if err != nil {
+			return err
+		}
+		p.Faults = &plan
+	}
+	rep := experiments.FaultSoak(p, nil)
+	rep.Write(os.Stdout)
+	if n := len(rep.Failures()); n > 0 {
+		return fmt.Errorf("%d soak cells failed", n)
+	}
+	return nil
 }
 
 // runProfile executes one (system, benchmark) cell with the telemetry

@@ -23,7 +23,9 @@ import (
 
 	"chats"
 	"chats/internal/experiments"
+	"chats/internal/faults"
 	"chats/internal/htm"
+	"chats/internal/invariant"
 	"chats/internal/sweep"
 	"chats/internal/telemetry"
 	"chats/internal/workloads"
@@ -47,6 +49,10 @@ func main() {
 		metrics     = flag.Bool("metrics", false, "print telemetry histograms and cycle-windowed series")
 		window      = flag.Uint64("window", 10_000, "cycle window for the telemetry time series")
 		jsonOut     = flag.Bool("json", false, "print statistics as JSON")
+		faultSpec   = flag.String("faults", "", "fault-injection spec, e.g. 'spurious:p=0.01;jitter:p=0.1,max=8' ('soak' = the canonical all-kinds plan)")
+		invariants  = flag.Bool("invariants", false, "attach the runtime invariant checker (chains, coherence, serializability oracle)")
+		wdCycles    = flag.Uint64("watchdog-cycles", 0, "arm the livelock watchdog: kill the run with a diagnostic dump after this many cycles without a commit or fallback (0 = off)")
+		maxAttempts = flag.Int("max-attempts", 0, "per-transaction attempt budget before the starvation watchdog kills the run (0 = off)")
 		doSweep     = flag.Bool("sweep", false, "run a (systems × benches) grid instead of a single cell")
 		sweepSys    = flag.String("systems", "", "comma-separated systems for -sweep (default: all)")
 		sweepBench  = flag.String("benches", "", "comma-separated benchmarks for -sweep (default: all)")
@@ -60,6 +66,19 @@ func main() {
 	cfg := chats.DefaultConfig()
 	cfg.Machine.Seed = *seed
 	cfg.Machine.Cores = *cores
+	cfg.Machine.WatchdogCycles = *wdCycles
+	cfg.Machine.MaxAttempts = *maxAttempts
+	if *faultSpec != "" {
+		spec := *faultSpec
+		if spec == "soak" {
+			spec = faults.SoakSpec
+		}
+		plan, err := faults.Parse(spec)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Machine.Faults = &plan
+	}
 
 	if *dumpConfig {
 		experiments.PrintTableI(os.Stdout, cfg.Machine)
@@ -78,7 +97,7 @@ func main() {
 	}
 
 	if *doSweep {
-		if err := runSweep(cfg, *sweepSys, *sweepBench, *size, *jobs, *retries, *vsb, *valInterval, *jsonOut); err != nil {
+		if err := runSweep(cfg, *sweepSys, *sweepBench, *size, *jobs, *retries, *vsb, *valInterval, *jsonOut, *invariants); err != nil {
 			fatal(err)
 		}
 		return
@@ -128,6 +147,11 @@ func main() {
 	if col != nil {
 		tracers = append(tracers, col)
 	}
+	var chk *invariant.Checker
+	if *invariants {
+		chk = invariant.New()
+		tracers = append(tracers, chk)
+	}
 
 	var st chats.Stats
 	switch len(tracers) {
@@ -140,6 +164,14 @@ func main() {
 	}
 	if err != nil {
 		fatal(err)
+	}
+	if chk != nil {
+		if verr := chk.Err(); verr != nil {
+			fatal(verr)
+		}
+		c := chk.Counts()
+		fmt.Printf("invariants  ok (%d tx replayed, %d ops, %d edges, %d lines diffed)\n",
+			c.TxReplays, c.TxOps, c.Edges, c.LinesDiffed)
 	}
 
 	if col != nil {
@@ -174,7 +206,7 @@ func main() {
 // cell builds its own config and workload, so the printed statistics are
 // bit-identical at any -j; only wall clock changes. Results print in
 // grid order (system-major) regardless of completion order.
-func runSweep(base chats.Config, systems, benches, size string, jobs, retries, vsb, valInterval int, jsonOut bool) error {
+func runSweep(base chats.Config, systems, benches, size string, jobs, retries, vsb, valInterval int, jsonOut, invariants bool) error {
 	var kinds []chats.SystemKind
 	if systems == "" {
 		kinds = chats.Systems()
@@ -191,8 +223,14 @@ func runSweep(base chats.Config, systems, benches, size string, jobs, retries, v
 	if benches == "" {
 		names = workloads.Names()
 	} else {
+		// Validate every name before any cell runs: a typo must fail the
+		// whole sweep upfront, not cell N of a half-finished grid.
 		for _, b := range strings.Split(benches, ",") {
-			names = append(names, strings.TrimSpace(b))
+			b = strings.TrimSpace(b)
+			if !knownBench(b) {
+				return fmt.Errorf("unknown benchmark %q (known: %v)", b, workloads.Names())
+			}
+			names = append(names, b)
 		}
 	}
 	sz, err := workloads.ParseSize(size)
@@ -236,9 +274,19 @@ func runSweep(base chats.Config, systems, benches, size string, jobs, retries, v
 		if err != nil {
 			return err
 		}
-		st, err := chats.Run(cells[i].cfg, w)
+		var st chats.Stats
+		if invariants {
+			// One fresh checker per cell: a Checker is per-run state.
+			chk := invariant.New()
+			st, err = chats.RunWithTracer(cells[i].cfg, w, chk)
+			if err == nil {
+				err = chk.Err()
+			}
+		} else {
+			st, err = chats.Run(cells[i].cfg, w)
+		}
 		if err != nil {
-			return err
+			return fmt.Errorf("%s on %s: %w", cells[i].cfg.System, cells[i].bench, err)
 		}
 		results[i] = st
 		return nil
@@ -258,6 +306,15 @@ func runSweep(base chats.Config, systems, benches, size string, jobs, retries, v
 			st.System, st.Workload, st.Cycles, st.Commits, st.Aborts, st.AbortRate())
 	}
 	return nil
+}
+
+func knownBench(name string) bool {
+	for _, b := range workloads.Names() {
+		if b == name {
+			return true
+		}
+	}
+	return false
 }
 
 func systemNames() []string {
@@ -283,6 +340,9 @@ func printStats(st chats.Stats) {
 	fmt.Printf("forwarding  sent %d  consumed %d  validations %d  validated %d\n",
 		st.SpecRespsSent, st.SpecRespsConsumed, st.Validations, st.ValidationsOK)
 	fmt.Printf("network     %d messages, %d flits\n", st.Messages, st.Flits)
+	if st.FaultsInjected > 0 {
+		fmt.Printf("faults      %d injected\n", st.FaultsInjected)
+	}
 	fmt.Printf("L1          %d hits, %d misses\n", st.L1Hits, st.L1Misses)
 	fmt.Printf("fig6        conflicted %d/%d (commit/abort)  forwarders %d/%d  consumers %d/%d\n",
 		st.ConflictedCommitted, st.ConflictedAborted,

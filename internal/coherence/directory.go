@@ -57,6 +57,14 @@ type Directory struct {
 	cfg    Config
 	lines  map[mem.Addr]*dirLine
 	Stats  Stats
+
+	// ForceNack, when non-nil, is consulted for every transactional
+	// request before it is admitted; returning true bounces the request
+	// with RespNack without touching line state. The fault injector uses
+	// it to model an overloaded home node. Non-transactional requests are
+	// never force-nacked: the machine's non-speculative paths do not
+	// retry nacks, and sparing them preserves forward progress.
+	ForceNack func(req ReqInfo) bool
 }
 
 // NewDirectory builds the home node. cores may be populated later via
@@ -100,7 +108,15 @@ func (d *Directory) unblock(l *dirLine) {
 		panic("coherence: unblock on non-busy line")
 	}
 	l.busy = false
-	if len(l.queue) > 0 {
+	d.startNext(l)
+}
+
+// startNext pops the next queued request if the line is free. Called
+// from unblock and from the force-nack path: a dequeued request that is
+// bounced by ForceNack never reaches unblock, and without this the rest
+// of the queue would strand until a new request happened to complete.
+func (d *Directory) startNext(l *dirLine) {
+	if !l.busy && len(l.queue) > 0 {
 		next := l.queue[0]
 		l.queue = l.queue[1:]
 		d.eng.Schedule(0, next)
@@ -125,6 +141,12 @@ func (d *Directory) GetS(lineAddr mem.Addr, req ReqInfo, resp func(Resp)) {
 	l := d.line(lineAddr)
 	if l.busy {
 		l.queue = append(l.queue, func() { d.GetS(lineAddr, req, resp) })
+		return
+	}
+	if d.ForceNack != nil && req.IsTx && d.ForceNack(req) {
+		d.Stats.Nacks++
+		d.net.SendControl(func() { resp(Resp{Kind: RespNack}) })
+		d.startNext(l)
 		return
 	}
 	d.Stats.GetS++
@@ -194,6 +216,12 @@ func (d *Directory) GetX(lineAddr mem.Addr, req ReqInfo, resp func(Resp)) {
 	l := d.line(lineAddr)
 	if l.busy {
 		l.queue = append(l.queue, func() { d.GetX(lineAddr, req, resp) })
+		return
+	}
+	if d.ForceNack != nil && req.IsTx && d.ForceNack(req) {
+		d.Stats.Nacks++
+		d.net.SendControl(func() { resp(Resp{Kind: RespNack}) })
+		d.startNext(l)
 		return
 	}
 	d.Stats.GetX++
@@ -383,3 +411,6 @@ func (d *Directory) StateOf(lineAddr mem.Addr) (string, int, uint64) {
 
 // Busy reports whether the line has a request in flight.
 func (d *Directory) Busy(lineAddr mem.Addr) bool { return d.line(lineAddr).busy }
+
+// QueuedLen reports how many requests wait in the line's blocking queue.
+func (d *Directory) QueuedLen(lineAddr mem.Addr) int { return len(d.line(lineAddr).queue) }

@@ -64,6 +64,18 @@ func (c *modelCore) HandleProbe(p Probe) {
 //     it silently (allowed), but an exclusive owner that answered a probe
 //     normally must have given the line up.
 func TestDirectoryRandomWalk(t *testing.T) {
+	runDirectoryRandomWalk(t, false)
+}
+
+// The same walk with the fault hooks armed: forced nacks at the
+// directory and delivery jitter on the network. Every request must still
+// get exactly one response, and no line may strand requests in its queue
+// (the regression the force-nack/startNext interaction once caused).
+func TestDirectoryRandomWalkUnderFaults(t *testing.T) {
+	runDirectoryRandomWalk(t, true)
+}
+
+func runDirectoryRandomWalk(t *testing.T, faulty bool) {
 	for seed := uint64(1); seed <= 8; seed++ {
 		r := &rig{eng: new(sim.Engine), memry: mem.NewMemory()}
 		r.net = network.New(r.eng, 1)
@@ -78,14 +90,23 @@ func TestDirectoryRandomWalk(t *testing.T) {
 			cores = append(cores, mc)
 		}
 		r.dir.AttachCores(cores)
+		if faulty {
+			frnd := sim.NewRand(seed * 7919)
+			r.dir.ForceNack = func(ReqInfo) bool { return frnd.Intn(10) == 0 }
+			jrnd := sim.NewRand(seed * 104729)
+			r.net.Jitter = func() uint64 { return jrnd.Uint64n(5) }
+		}
 
+		pending := 0 // requests issued minus responses delivered
 		lines := []mem.Addr{0x000, 0x040, 0x080, 0x0c0, 0x100}
 		for step := 0; step < 400; step++ {
 			id := rnd.Intn(len(models))
 			line := lines[rnd.Intn(len(lines))]
 			isX := rnd.Intn(2) == 0
 			mc := models[id]
+			pending++
 			handler := func(resp Resp) {
+				pending--
 				switch resp.Kind {
 				case RespData:
 					mc.lines[line] = true
@@ -113,10 +134,16 @@ func TestDirectoryRandomWalk(t *testing.T) {
 			if _, err := r.eng.Run(10_000_000); err != nil {
 				t.Fatalf("seed %d step %d: %v", seed, step, err)
 			}
+			if pending != 0 {
+				t.Fatalf("seed %d step %d: %d requests never answered", seed, step, pending)
+			}
 			for _, line := range lines {
 				st, owner, sharers := r.dir.StateOf(line)
 				if r.dir.Busy(line) {
 					t.Fatalf("seed %d step %d: line %v busy after drain", seed, step, line)
+				}
+				if n := r.dir.QueuedLen(line); n != 0 {
+					t.Fatalf("seed %d step %d: line %v stranded %d queued requests", seed, step, line, n)
 				}
 				switch st {
 				case "E":

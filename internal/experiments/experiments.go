@@ -10,7 +10,9 @@ import (
 	"sync"
 
 	"chats/internal/core"
+	"chats/internal/faults"
 	"chats/internal/htm"
+	"chats/internal/invariant"
 	"chats/internal/machine"
 	"chats/internal/stats"
 	"chats/internal/sweep"
@@ -40,6 +42,18 @@ type Params struct {
 	// telemetry.Collector is per-run state and must NOT be shared across
 	// parallel cells; this factory makes one collector per cell instead.
 	Tracer func() machine.Tracer
+	// Faults, when non-nil, injects the plan into every cell (each cell
+	// derives its injector stream from its own seed, so -j keeps runs
+	// bit-identical).
+	Faults *faults.Plan
+	// Invariants attaches a fresh invariant.Checker to every cell; a
+	// violation fails that cell with the checker's diagnostic.
+	Invariants bool
+	// WatchdogCycles arms the per-cell livelock watchdog (0 = off).
+	WatchdogCycles uint64
+	// CellCycleBudget, when non-zero, overrides Machine.CycleLimit per
+	// cell so soak runs bound their worst case.
+	CellCycleBudget uint64
 }
 
 // DefaultParams returns the figure-regeneration setup.
@@ -60,8 +74,8 @@ type runKey struct {
 // writer) is mutex-guarded, while each simulation itself is confined to
 // one goroutine.
 type Suite struct {
-	p  Params
-	mu sync.Mutex // guards cache, Runs, bench, Verbose output
+	p     Params
+	mu    sync.Mutex // guards cache, Runs, bench, Verbose output
 	cache map[runKey]machine.RunStats
 	// Runs counts distinct simulations executed.
 	Runs  int
@@ -178,19 +192,49 @@ func (s *Suite) runOnce(kind core.Kind, traits *htm.Traits, bench string, seed u
 	}
 	cfg := s.p.Machine
 	cfg.Seed = seed
+	cfg.Faults = s.p.Faults
+	if s.p.WatchdogCycles > 0 {
+		cfg.WatchdogCycles = s.p.WatchdogCycles
+	}
+	if s.p.CellCycleBudget > 0 {
+		cfg.CycleLimit = s.p.CellCycleBudget
+	}
 	m, err := machine.New(cfg, policy)
 	if err != nil {
 		return machine.RunStats{}, err
 	}
+	var tracers []machine.Tracer
 	if s.p.Tracer != nil {
 		if t := s.p.Tracer(); t != nil {
-			m.SetTracer(t)
+			tracers = append(tracers, t)
 		}
+	}
+	var chk *invariant.Checker
+	if s.p.Invariants {
+		chk = invariant.New()
+		tracers = append(tracers, chk)
+	}
+	switch len(tracers) {
+	case 0:
+	case 1:
+		m.SetTracer(tracers[0])
+	default:
+		m.SetTracer(machine.MultiTracer(tracers))
 	}
 	rec := beginCellBench(cellName(kind, traits, bench, seed, labelSeed))
 	st, err := m.Run(w)
+	if err == nil && chk != nil {
+		err = chk.Err()
+	}
 	if err != nil {
-		return machine.RunStats{}, err
+		// Cell identity plus fault plan: a soak failure must be
+		// reproducible from the message alone.
+		name := cellName(kind, traits, bench, seed, labelSeed)
+		if s.p.Faults != nil {
+			return machine.RunStats{}, fmt.Errorf("cell %s (seed %d, faults %q): %w",
+				name, seed, s.p.Faults.String(), err)
+		}
+		return machine.RunStats{}, fmt.Errorf("cell %s (seed %d): %w", name, seed, err)
 	}
 	rec.finish(st.Cycles)
 	s.mu.Lock()
@@ -240,6 +284,7 @@ func average(runs []machine.RunStats) machine.RunStats {
 	agg(func(r *machine.RunStats) *uint64 { return &r.Messages })
 	agg(func(r *machine.RunStats) *uint64 { return &r.L1Hits })
 	agg(func(r *machine.RunStats) *uint64 { return &r.L1Misses })
+	agg(func(r *machine.RunStats) *uint64 { return &r.FaultsInjected })
 	return out
 }
 

@@ -72,6 +72,11 @@ const (
 	// CauseLock: the fallback lock was acquired by another thread,
 	// invalidating the eager lock subscription.
 	CauseLock
+	// CauseSpurious: an injected best-effort abort (modelling capacity
+	// overflow from non-transactional cache pressure, interrupts, TLB
+	// shootdowns — events real best-effort HTM suffers but the Table I
+	// machine otherwise never produces). Only the fault injector raises it.
+	CauseSpurious
 	numCauses
 )
 
@@ -94,6 +99,8 @@ func (c AbortCause) String() string {
 		return "stall"
 	case CauseLock:
 		return "lock"
+	case CauseSpurious:
+		return "spurious"
 	}
 	return fmt.Sprintf("AbortCause(%d)", uint8(c))
 }

@@ -127,3 +127,18 @@ func (v *VSB) Clear() {
 		v.Observer(0)
 	}
 }
+
+// Lines returns the addresses of the valid entries in slot order
+// (diagnostics and invariant checking; allocates only when non-empty).
+func (v *VSB) Lines() []mem.Addr {
+	if v.count == 0 {
+		return nil
+	}
+	out := make([]mem.Addr, 0, v.count)
+	for i := range v.entries {
+		if v.entries[i].Valid {
+			out = append(out, v.entries[i].Line)
+		}
+	}
+	return out
+}

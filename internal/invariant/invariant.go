@@ -1,0 +1,416 @@
+// Package invariant provides a runtime self-checking layer for the
+// simulated machine. A Checker attaches as a tracer (machine.SetTracer)
+// and verifies, while the run executes, the structural invariants the
+// chaining protocols promise:
+//
+//   - chain acyclicity: the observed forwarding graph (Forward/Consume
+//     events) never contains a cycle among live transactions;
+//   - PiC/Cons consistency: a consumer accepting a speculative line at
+//     PiC p ends up strictly below p in the chain, sets its Cons bit,
+//     and a non-empty VSB always implies Cons;
+//   - consumption discipline: every Consume is preceded by a matching
+//     Forward, and no transaction commits with unvalidated VSB entries
+//     or live consumer edges;
+//   - single-writer: two live transactions whose write sets overlap on
+//     a line must be related by a forwarding edge on that line;
+//   - serializability: committed transactions, replayed in commit order
+//     against a shadow memory, reproduce exactly the values the real
+//     run observed, and the final shadow equals the final simulated
+//     memory (a serial re-execution oracle).
+//
+// The first violation halts the simulation (machine.Halt) with a
+// descriptive error; EndRun performs the final memory comparison. The
+// checker is deterministic and adds no simulated-time cost — it runs in
+// the tracer seam — but costs host time per event, so it is opt-in
+// (chatsim -invariants).
+package invariant
+
+import (
+	"fmt"
+	"sort"
+
+	"chats/internal/coherence"
+	"chats/internal/htm"
+	"chats/internal/machine"
+	"chats/internal/mem"
+)
+
+// Counts reports how much checking a run performed (for cost reporting
+// and for tests asserting the checker actually ran).
+type Counts struct {
+	NonTxOps    uint64 // plain/fallback ops checked against shadow memory
+	TxReplays   uint64 // committed transactions replayed
+	TxOps       uint64 // speculative ops replayed inside those
+	Edges       uint64 // forwarding edges tracked
+	Commits     uint64 // commit-time structural checks
+	LinesDiffed uint64 // lines compared at EndRun
+}
+
+// op is one logged speculative operation of an uncommitted transaction.
+type txOp struct {
+	kind machine.OpKind
+	addr mem.Addr
+	val  uint64
+}
+
+// edgeKey identifies a consumed-but-unvalidated line at a consumer.
+type edgeKey struct {
+	consumer int
+	line     mem.Addr
+}
+
+// edge records who produced the line and in which of the producer's
+// transactions (generation), so stale edges never alias a newer one.
+type edge struct {
+	producer int
+	prodGen  uint64
+	pic      coherence.PiC
+}
+
+// Checker implements machine.Tracer, machine.OpTracer and
+// machine.RunChecker. Attach with machine.SetTracer (possibly inside a
+// machine.MultiTracer) before Run.
+type Checker struct {
+	m      *machine.Machine
+	shadow map[mem.Addr]mem.Line // line addr -> committed value
+	ops    [][]txOp              // per-core speculative op log
+	gen    []uint64              // per-core transaction generation
+	pend   map[edgeKey]edge      // forwarded, not yet consumed
+	live   map[edgeKey]edge      // consumed, not yet validated
+
+	counts Counts
+	err    error
+}
+
+// New returns a Checker ready to attach to a machine.
+func New() *Checker {
+	return &Checker{
+		shadow: make(map[mem.Addr]mem.Line),
+		pend:   make(map[edgeKey]edge),
+		live:   make(map[edgeKey]edge),
+	}
+}
+
+// Counts returns the work counters accumulated so far.
+func (c *Checker) Counts() Counts { return c.counts }
+
+// Err returns the first violation, or nil.
+func (c *Checker) Err() error { return c.err }
+
+// violation records the first violation and halts the run.
+func (c *Checker) violation(format string, args ...any) {
+	err := fmt.Errorf("invariant: "+format, args...)
+	if c.err == nil {
+		c.err = err
+	}
+	if c.m != nil {
+		c.m.Halt(err)
+	}
+}
+
+// ---------- RunChecker ----------
+
+// BeginRun seeds the shadow memory from the post-Setup memory image and
+// resets all per-run state.
+func (c *Checker) BeginRun(m *machine.Machine) {
+	c.m = m
+	c.shadow = make(map[mem.Addr]mem.Line)
+	m.World().Mem.ForEachLine(func(a mem.Addr, l mem.Line) {
+		c.shadow[a] = l
+	})
+	c.ops = make([][]txOp, m.NumCores())
+	c.gen = make([]uint64, m.NumCores())
+	c.pend = make(map[edgeKey]edge)
+	c.live = make(map[edgeKey]edge)
+	c.counts = Counts{}
+	c.err = nil
+}
+
+// EndRun compares the shadow memory against the final simulated memory:
+// the two must agree word for word, or some committed effect was lost,
+// duplicated, or reordered unserializably.
+func (c *Checker) EndRun(m *machine.Machine) error {
+	if c.err != nil {
+		return c.err
+	}
+	memory := m.World().Mem
+	seen := make(map[mem.Addr]bool)
+	memory.ForEachLine(func(a mem.Addr, l mem.Line) {
+		seen[a] = true
+		c.counts.LinesDiffed++
+		if c.err == nil && c.shadow[a] != l {
+			c.err = fmt.Errorf("invariant: final memory diverges from serial re-execution at line %v: machine %v, oracle %v",
+				a, l, c.shadow[a])
+		}
+	})
+	// Lines the oracle holds that the machine never wrote back must be
+	// zero-diffs too (sorted for a deterministic error message).
+	var extra []mem.Addr
+	for a := range c.shadow {
+		if !seen[a] {
+			extra = append(extra, a)
+		}
+	}
+	sort.Slice(extra, func(i, j int) bool { return extra[i] < extra[j] })
+	for _, a := range extra {
+		c.counts.LinesDiffed++
+		if c.err == nil && c.shadow[a] != (mem.Line{}) {
+			c.err = fmt.Errorf("invariant: oracle holds %v = %v but the machine's final memory has no such line",
+				a, c.shadow[a])
+		}
+	}
+	return c.err
+}
+
+// ---------- shadow memory ----------
+
+func (c *Checker) shadowWord(a mem.Addr) uint64 {
+	return c.shadow[a.Line()][a.WordIndex()]
+}
+
+func (c *Checker) setShadowWord(a mem.Addr, v uint64) {
+	line := c.shadow[a.Line()]
+	line[a.WordIndex()] = v
+	c.shadow[a.Line()] = line
+}
+
+// ---------- OpTracer ----------
+
+// Op logs speculative operations for commit-time replay and applies
+// plain/fallback operations to the shadow immediately.
+//
+// Stores and CASes are value-checked: they only complete after acquiring
+// ownership (a local M/E hit or a GetX grant), so their completion order
+// matches the coherence order and the shadow is exact at each one.
+// Non-transactional loads are applied without a value check: a load's
+// value binds at the directory while the reply is still in flight, so a
+// store that completes during the flight legally makes the load look
+// stale at completion time (the load linearizes at its bind point).
+// Transactional loads don't have this gap — a committed transaction's
+// read set is coherence-protected from bind to commit — which is why the
+// commit-time replay can check them exactly.
+func (c *Checker) Op(cycle uint64, core int, kind machine.OpKind, inTx bool, addr mem.Addr, val, val2 uint64, ok bool) {
+	if inTx {
+		c.ops[core] = append(c.ops[core], txOp{kind: kind, addr: addr, val: val})
+		return
+	}
+	c.counts.NonTxOps++
+	switch kind {
+	case machine.OpStore:
+		c.setShadowWord(addr, val)
+	case machine.OpCAS:
+		if want := c.shadowWord(addr); val != want {
+			c.violation("cycle %d core %d: CAS %v saw previous %d, oracle has %d",
+				cycle, core, addr, val, want)
+		}
+		if ok {
+			c.setShadowWord(addr, val2)
+		}
+	}
+}
+
+// ---------- Tracer ----------
+
+func (c *Checker) TxBegin(cycle uint64, core, attempt int, power bool) {
+	c.gen[core]++
+	c.ops[core] = c.ops[core][:0]
+	// Pending forwards addressed to a previous attempt can never be
+	// consumed (the consumer stale-drops the delivery); clear them.
+	for k := range c.pend {
+		if k.consumer == core {
+			delete(c.pend, k)
+		}
+	}
+}
+
+// TxCommit replays the transaction's operations against the shadow in
+// commit order and folds its writes in, then runs the structural
+// commit-time checks.
+func (c *Checker) TxCommit(cycle uint64, core int, consumed int) {
+	c.counts.Commits++
+	snap := c.m.CoreSnapshot(core)
+	if snap.VSBLen != 0 {
+		c.violation("cycle %d core %d: committing with %d unvalidated VSB entries", cycle, core, snap.VSBLen)
+	}
+	if snap.Cons {
+		c.violation("cycle %d core %d: committing with Cons still set", cycle, core)
+	}
+	for k := range c.live {
+		if k.consumer == core {
+			c.violation("cycle %d core %d: committing with unvalidated consumption of %v", cycle, core, k.line)
+		}
+	}
+	c.checkSingleWriter(cycle, core, snap)
+	c.replay(cycle, core)
+	// Consumer edges must already be gone (checked above); drop any
+	// leftovers so one violation does not cascade. Producer edges stay:
+	// their consumers still hold unvalidated fictions and resolve them
+	// through Validate or TxAbort (the generation tag keeps these edges
+	// out of the cycle check once this core begins a new transaction).
+	for k := range c.live {
+		if k.consumer == core {
+			delete(c.live, k)
+		}
+	}
+}
+
+// replay re-executes core's logged speculative ops against the shadow
+// with a read-your-own-writes overlay, then commits the overlay.
+func (c *Checker) replay(cycle uint64, core int) {
+	c.counts.TxReplays++
+	overlay := make(map[mem.Addr]uint64)
+	for _, o := range c.ops[core] {
+		c.counts.TxOps++
+		switch o.kind {
+		case machine.OpLoad:
+			want, own := overlay[o.addr]
+			if !own {
+				want = c.shadowWord(o.addr)
+			}
+			if o.val != want {
+				c.violation("cycle %d core %d: committed transaction read %v = %d, serial re-execution gives %d",
+					cycle, core, o.addr, o.val, want)
+			}
+		case machine.OpStore:
+			overlay[o.addr] = o.val
+		}
+	}
+	for a, v := range overlay {
+		c.setShadowWord(a, v)
+	}
+	c.ops[core] = c.ops[core][:0]
+}
+
+// checkSingleWriter verifies that the committing transaction is the only
+// REAL owner of each line it wrote. Other live transactions may hold the
+// same line in their write sets, but only as unvalidated VSB fictions
+// (forwarded copies whose validation will succeed or abort them); a
+// second directory-granted speculative copy would be a coherence bug.
+// The committing core's own copies are all real — its VSB is empty.
+func (c *Checker) checkSingleWriter(cycle uint64, core int, snap machine.CoreSnapshot) {
+	if len(snap.WriteSet) == 0 {
+		return
+	}
+	ws := make(map[mem.Addr]bool, len(snap.WriteSet))
+	for _, a := range snap.WriteSet {
+		ws[a] = true
+	}
+	for i := 0; i < c.m.NumCores(); i++ {
+		if i == core {
+			continue
+		}
+		other := c.m.CoreSnapshot(i)
+		if other.Status != htm.Active && other.Status != htm.Committing {
+			continue
+		}
+		fiction := make(map[mem.Addr]bool, len(other.VSBLines))
+		for _, a := range other.VSBLines {
+			fiction[a] = true
+		}
+		for _, a := range other.WriteSet {
+			if ws[a] && !fiction[a] {
+				c.violation("cycle %d: core %d commits line %v while core %d also holds it in its write set outside the VSB (two real owners)",
+					cycle, core, a, i)
+				return
+			}
+		}
+	}
+}
+
+func (c *Checker) TxAbort(cycle uint64, core int, cause htm.AbortCause) {
+	c.ops[core] = c.ops[core][:0]
+	// The abort drains this core's VSB, so its consumer edges die with
+	// it. Edges it produced stay until each consumer's own validation or
+	// abort resolves them.
+	for k := range c.live {
+		if k.consumer == core {
+			delete(c.live, k)
+		}
+	}
+	for k := range c.pend {
+		if k.consumer == core {
+			delete(c.pend, k)
+		}
+	}
+}
+
+func (c *Checker) Forward(cycle uint64, producer, requester int, line mem.Addr, pic coherence.PiC) {
+	c.pend[edgeKey{consumer: requester, line: line}] = edge{
+		producer: producer, prodGen: c.gen[producer], pic: pic,
+	}
+}
+
+func (c *Checker) Consume(cycle uint64, core int, line mem.Addr, pic coherence.PiC) {
+	c.counts.Edges++
+	k := edgeKey{consumer: core, line: line}
+	e, ok := c.pend[k]
+	if !ok {
+		c.violation("cycle %d core %d: consumed %v with no preceding forward", cycle, core, line)
+		return
+	}
+	delete(c.pend, k)
+	c.live[k] = e
+
+	snap := c.m.CoreSnapshot(core)
+	if !snap.Cons {
+		c.violation("cycle %d core %d: consumed %v without setting Cons", cycle, core, line)
+	}
+	if snap.VSBLen == 0 {
+		c.violation("cycle %d core %d: consumed %v with an empty VSB", cycle, core, line)
+	}
+	if pic.Valid() && (!snap.PiC.Valid() || snap.PiC >= pic) {
+		c.violation("cycle %d core %d: consumed %v at PiC %d but sits at PiC %d (must be strictly below the producer)",
+			cycle, core, line, pic, snap.PiC)
+	}
+	if c.cyclic(core, e) {
+		c.violation("cycle %d core %d: consuming %v from core %d closes a chain cycle",
+			cycle, core, line, e.producer)
+	}
+}
+
+// cyclic reports whether the new edge producer->core closes a cycle in
+// the live forwarding graph: can core already reach producer through
+// edges whose producers are still running the transaction that forwarded
+// (a dead or recycled producer's edges impose no ordering any more)?
+func (c *Checker) cyclic(core int, newEdge edge) bool {
+	current := func(p int, g uint64) bool {
+		if g != c.gen[p] {
+			return false
+		}
+		st := c.m.CoreSnapshot(p).Status
+		return st == htm.Active || st == htm.Committing
+	}
+	seen := map[int]bool{core: true}
+	var reach func(from int) bool
+	reach = func(from int) bool {
+		if from == newEdge.producer {
+			return true
+		}
+		for k, e := range c.live {
+			if e.producer != from || seen[k.consumer] || !current(from, e.prodGen) {
+				continue
+			}
+			seen[k.consumer] = true
+			if reach(k.consumer) {
+				return true
+			}
+		}
+		return false
+	}
+	// Start from the new consumer: a path core => ... => producer means
+	// producer must commit after core, while the new edge demands the
+	// opposite.
+	return reach(core)
+}
+
+func (c *Checker) Validate(cycle uint64, core int, line mem.Addr, ok bool) {
+	snap := c.m.CoreSnapshot(core)
+	if snap.VSBLen > 0 && !snap.Cons {
+		c.violation("cycle %d core %d: VSB holds %d entries but Cons is clear", cycle, core, snap.VSBLen)
+	}
+	if ok {
+		delete(c.live, edgeKey{consumer: core, line: line})
+	}
+}
+
+func (c *Checker) Fallback(cycle uint64, core int) {}

@@ -1,0 +1,151 @@
+package invariant_test
+
+import (
+	"strings"
+	"testing"
+
+	"chats/internal/coherence"
+	"chats/internal/core"
+	"chats/internal/faults"
+	"chats/internal/htm"
+	"chats/internal/invariant"
+	"chats/internal/machine"
+	"chats/internal/workloads"
+)
+
+// runChecked runs workload wl on the given policy with a fresh Checker
+// attached and returns the run error plus the checker.
+func runChecked(t *testing.T, kind core.Kind, wl string, mutate func(*machine.Config)) (error, *invariant.Checker) {
+	t.Helper()
+	w, err := workloads.New(wl, workloads.Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	policy, err := core.New(kind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := machine.DefaultConfig()
+	cfg.CycleLimit = 200_000_000
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	m, err := machine.New(cfg, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chk := invariant.New()
+	m.SetTracer(chk)
+	_, err = m.Run(w)
+	return err, chk
+}
+
+// Every system must pass the full invariant suite on clean runs of a
+// forwarding-heavy microbenchmark.
+func TestCheckerCleanAllSystems(t *testing.T) {
+	for _, wl := range []string{"cadd", "llb-h"} {
+		for _, kind := range core.Kinds() {
+			wl, kind := wl, kind
+			t.Run(wl+"/"+string(kind), func(t *testing.T) {
+				t.Parallel()
+				err, chk := runChecked(t, kind, wl, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				c := chk.Counts()
+				if c.TxReplays == 0 || c.TxOps == 0 || c.LinesDiffed == 0 {
+					t.Fatalf("checker did no work: %+v", c)
+				}
+			})
+		}
+	}
+}
+
+// Clean runs must stay clean with faults injected: every fault kind only
+// forces legal (abort/retry) paths, never an unsound commit.
+func TestCheckerCleanUnderFaults(t *testing.T) {
+	plan := faults.SoakPlan()
+	for _, kind := range core.Kinds() {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			t.Parallel()
+			err, chk := runChecked(t, kind, "cadd", func(cfg *machine.Config) {
+				cfg.Faults = &plan
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if chk.Err() != nil {
+				t.Fatal(chk.Err())
+			}
+		})
+	}
+}
+
+// brokenPolicy wraps a real policy but ignores validation mismatches:
+// stale forwarded data is allowed to commit. The checker must catch the
+// resulting unserializable execution.
+type brokenPolicy struct {
+	htm.Policy
+}
+
+func (p brokenPolicy) ValidationCheck(local *htm.TxState, isSpec bool, pic coherence.PiC, match bool) (htm.ValidationOutcome, htm.AbortCause) {
+	return p.Policy.ValidationCheck(local, isSpec, pic, true)
+}
+
+func TestBrokenPolicyCaught(t *testing.T) {
+	// Spurious producer aborts strand stale data in consumer VSBs; the
+	// broken validation waves it through.
+	plan, err := faults.Parse("spurious:p=0.05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := workloads.New("cadd", workloads.Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	policy, err := core.New(core.KindCHATS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := machine.DefaultConfig()
+	cfg.CycleLimit = 200_000_000
+	cfg.Faults = &plan
+	m, err := machine.New(cfg, brokenPolicy{policy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chk := invariant.New()
+	m.SetTracer(chk)
+	_, runErr := m.Run(w)
+	if chk.Err() == nil && runErr == nil {
+		t.Fatal("broken validation policy escaped the invariant checker")
+	}
+	err = runErr
+	if chk.Err() != nil {
+		err = chk.Err()
+	}
+	if !strings.Contains(err.Error(), "invariant") {
+		t.Fatalf("expected an invariant violation, got: %v", err)
+	}
+}
+
+// The checker must be reusable across runs: a second clean run after a
+// first one starts from fresh state.
+func TestCheckerReuse(t *testing.T) {
+	chk := invariant.New()
+	for i := 0; i < 2; i++ {
+		w, _ := workloads.New("cadd", workloads.Tiny)
+		policy, _ := core.New(core.KindCHATS)
+		cfg := machine.DefaultConfig()
+		cfg.CycleLimit = 200_000_000
+		m, err := machine.New(cfg, policy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.SetTracer(chk)
+		if _, err := m.Run(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

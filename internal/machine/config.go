@@ -4,7 +4,11 @@
 // transactional workloads on it with a deterministic thread runner.
 package machine
 
-import "fmt"
+import (
+	"fmt"
+
+	"chats/internal/faults"
+)
 
 // Config carries the Table I system parameters plus the simulator knobs
 // that gem5 would take on its command line.
@@ -60,6 +64,23 @@ type Config struct {
 
 	// Seed drives every pseudo-random choice in the run.
 	Seed uint64
+
+	// Faults, when non-nil, enables deterministic fault injection per the
+	// plan (see package faults). The injector draws from its own PRNG
+	// seeded from Seed, so a faulted run stays bit-reproducible.
+	Faults *faults.Plan
+
+	// WatchdogCycles, when non-zero, arms the livelock watchdog: if no
+	// transaction commits and no fallback section starts for this many
+	// cycles while threads are still running, the run is killed with a
+	// LivelockError carrying a diagnostic dump instead of spinning to the
+	// cycle limit.
+	WatchdogCycles uint64
+
+	// MaxAttempts, when non-zero, bounds the attempts of a single atomic
+	// block; a transaction beginning attempt MaxAttempts+1 trips the
+	// watchdog with a starvation diagnostic. Zero means unlimited.
+	MaxAttempts int
 }
 
 // DefaultConfig returns the Table I machine.
@@ -97,6 +118,14 @@ func (c Config) Validate() error {
 	}
 	if c.NackRetryLimit <= 0 || c.VSBRetryLimit <= 0 || c.PowerAttemptLimit <= 0 {
 		return fmt.Errorf("machine: retry limits must be positive")
+	}
+	if c.MaxAttempts < 0 {
+		return fmt.Errorf("machine: MaxAttempts must be non-negative, got %d", c.MaxAttempts)
+	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

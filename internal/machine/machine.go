@@ -5,6 +5,7 @@ import (
 
 	"chats/internal/cache"
 	"chats/internal/coherence"
+	"chats/internal/faults"
 	"chats/internal/htm"
 	"chats/internal/mem"
 	"chats/internal/network"
@@ -47,7 +48,13 @@ type Machine struct {
 	powerHolder int
 	tsCounter   uint64
 	tracer      Tracer
-	xtracer     XTracer // tracer's XTracer view, resolved once at SetTracer
+	xtracer     XTracer     // tracer's XTracer view, resolved once at SetTracer
+	optracer    OpTracer    // ditto for the op-level stream
+	ftracer     FaultTracer // ditto for injected-fault events
+	checker     RunChecker  // ditto for the run-lifecycle hooks
+
+	inj  *faults.Injector
+	ring *eventRing // recent-event buffer for watchdog diagnostics
 
 	stats RunStats
 }
@@ -69,6 +76,32 @@ func New(cfg Config, policy htm.Policy) (*Machine, error) {
 		LLCLatency:  cfg.LLCLatency,
 		DRAMLatency: cfg.DRAMLatency,
 	})
+	if cfg.Faults != nil && cfg.Faults.Enabled() {
+		// The injector owns a dedicated PRNG stream: sharing one with the
+		// nodes would make the fault schedule depend on unrelated draws.
+		m.inj = faults.NewInjector(*cfg.Faults, sim.NewRand(cfg.Seed*2654435761+12345))
+		if cfg.Faults.Jitter > 0 {
+			m.net.Jitter = func() uint64 {
+				d := m.inj.JitterDelay()
+				if d > 0 {
+					m.countFault(-1, "jitter")
+				}
+				return d
+			}
+		}
+		if cfg.Faults.Nack > 0 {
+			m.dir.ForceNack = func(req coherence.ReqInfo) bool {
+				if m.inj.ForceNack() {
+					m.countFault(req.ID, "nack")
+					return true
+				}
+				return false
+			}
+		}
+	}
+	if cfg.WatchdogCycles > 0 || cfg.MaxAttempts > 0 {
+		m.ring = newEventRing(ringCapacity)
+	}
 	alloc := mem.NewAllocator(0)
 	m.lockAddr = alloc.LineAligned(1) // fallback lock on its own line
 	m.lockLine = m.lockAddr.Line()
@@ -101,6 +134,10 @@ func (m *Machine) tryAcquirePower(id int) bool {
 	if m.powerHolder != -1 {
 		return false
 	}
+	if m.inj != nil && m.inj.DenyPower() {
+		m.countFault(id, "powerdeny")
+		return false
+	}
 	m.powerHolder = id
 	m.stats.PowerAcqs++
 	return true
@@ -119,6 +156,9 @@ func (m *Machine) releasePower(id int) {
 func (m *Machine) Run(w Workload) (RunStats, error) {
 	m.stats.Workload = w.Name()
 	w.Setup(m.world, m.cfg.Cores)
+	if m.checker != nil {
+		m.checker.BeginRun(m)
+	}
 
 	r := newRunner(m)
 	runErr := r.run(w)
@@ -128,6 +168,12 @@ func (m *Machine) Run(w Workload) (RunStats, error) {
 		return m.stats, fmt.Errorf("machine: %s on %s: %w", m.policy.Name(), w.Name(), runErr)
 	}
 	m.flushCaches()
+	if m.checker != nil {
+		if err := m.checker.EndRun(m); err != nil {
+			return m.stats, fmt.Errorf("machine: %s on %s failed invariant check: %w",
+				m.policy.Name(), w.Name(), err)
+		}
+	}
 	if err := w.Check(m.world); err != nil {
 		return m.stats, fmt.Errorf("machine: %s on %s failed validation: %w",
 			m.policy.Name(), w.Name(), err)

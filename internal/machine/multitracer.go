@@ -78,3 +78,40 @@ func (ts MultiTracer) VSBOccupancy(cycle uint64, core, occ int) {
 		}
 	}
 }
+
+func (ts MultiTracer) Op(cycle uint64, core int, op OpKind, inTx bool, addr mem.Addr, val, val2 uint64, ok bool) {
+	for _, t := range ts {
+		if o, k := t.(OpTracer); k {
+			o.Op(cycle, core, op, inTx, addr, val, val2, ok)
+		}
+	}
+}
+
+func (ts MultiTracer) FaultInjected(cycle uint64, core int, kind string) {
+	for _, t := range ts {
+		if f, ok := t.(FaultTracer); ok {
+			f.FaultInjected(cycle, core, kind)
+		}
+	}
+}
+
+func (ts MultiTracer) BeginRun(m *Machine) {
+	for _, t := range ts {
+		if c, ok := t.(RunChecker); ok {
+			c.BeginRun(m)
+		}
+	}
+}
+
+// EndRun runs every member checker and returns the first error.
+func (ts MultiTracer) EndRun(m *Machine) error {
+	var first error
+	for _, t := range ts {
+		if c, ok := t.(RunChecker); ok {
+			if err := c.EndRun(m); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}

@@ -165,6 +165,14 @@ func (n *Node) load1(a mem.Addr, inTx bool, done func(uint64, bool), nackTries, 
 		done(0, true)
 		return
 	}
+	if inTx && n.m.inj != nil && n.m.inj.SpuriousAbort() {
+		// Best-effort HTM: a transaction may abort at any access boundary
+		// for no architectural reason.
+		n.m.countFault(n.id, "spurious")
+		n.abortTx(htm.CauseSpurious)
+		done(0, true)
+		return
+	}
 	line := a.Line()
 	e := n.l1.Lookup(line)
 	if e == nil {
@@ -265,7 +273,14 @@ func (n *Node) onLoadResp(a mem.Addr, inTx bool, epoch uint64, resp coherence.Re
 // cont continues the access (aborted=true when the consumer must die).
 func (n *Node) consumeSpec(line mem.Addr, resp coherence.Resp, vsbTries int,
 	retry func(), cont func(aborted bool)) {
-	if n.tx.VSB.Full() {
+	vsbFull := n.tx.VSB.Full()
+	if !vsbFull && n.m.inj != nil && n.m.inj.VSBFull() {
+		// Forced capacity pressure: treat the VSB as full for this
+		// delivery, exercising the retry/abort path.
+		n.m.countFault(n.id, "vsbfull")
+		vsbFull = true
+	}
+	if vsbFull {
 		if _, have := n.tx.VSB.Lookup(line); !have {
 			n.m.stats.SpecDropVSB++
 			if vsbTries+1 >= n.m.cfg.VSBRetryLimit {
@@ -319,6 +334,12 @@ func (n *Node) Store(a mem.Addr, v uint64, inTx bool, done func(aborted bool)) {
 
 func (n *Node) store1(a mem.Addr, v uint64, inTx bool, done func(bool), nackTries, vsbTries int) {
 	if inTx && !n.tx.InTx() {
+		done(true)
+		return
+	}
+	if inTx && n.m.inj != nil && n.m.inj.SpuriousAbort() {
+		n.m.countFault(n.id, "spurious")
+		n.abortTx(htm.CauseSpurious)
 		done(true)
 		return
 	}

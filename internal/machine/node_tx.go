@@ -307,6 +307,13 @@ func (n *Node) onValidationResp(ent htm.VSBEntry, epoch uint64, resp coherence.R
 			return
 		}
 		match := resp.Data == ent.Data
+		if match && n.m.inj != nil && n.m.inj.ValFail() {
+			// Forced validation failure: the consumed line is treated as
+			// stale, driving the policy's mismatch path (an abort — never
+			// an unsound commit).
+			n.m.countFault(n.id, "valfail")
+			match = false
+		}
 		out, cause := n.policy.ValidationCheck(n.tx, false, resp.PiC, match)
 		switch out {
 		case htm.ValidationDone:
@@ -337,6 +344,10 @@ func (n *Node) onValidationResp(ent htm.VSBEntry, epoch uint64, resp coherence.R
 			return
 		}
 		match := resp.Data == ent.Data
+		if match && n.m.inj != nil && n.m.inj.ValFail() {
+			n.m.countFault(n.id, "valfail")
+			match = false
+		}
 		out, cause := n.policy.ValidationCheck(n.tx, true, resp.PiC, match)
 		if out == htm.ValidationAbort {
 			n.abortTx(cause)

@@ -108,9 +108,34 @@ type runner struct {
 	m       *Machine
 	threads []*tctx
 	active  int
+
+	// Livelock watchdog (armed when cfg.WatchdogCycles > 0): wd is the
+	// pending tick event, wdLast the Commits+Fallbacks count at the last
+	// tick. A tick observing no progress since the previous one halts the
+	// run with a diagnostic dump.
+	wd     *sim.Event
+	wdLast uint64
 }
 
 func newRunner(m *Machine) *runner { return &runner{m: m} }
+
+// armWatchdog schedules the next progress check.
+func (r *runner) armWatchdog() {
+	window := r.m.cfg.WatchdogCycles
+	r.wd = r.m.eng.Schedule(window, func() {
+		r.wd = nil
+		if r.active == 0 {
+			return
+		}
+		progress := r.m.stats.Commits + r.m.stats.Fallbacks
+		if progress == r.wdLast {
+			r.m.eng.Halt(r.m.livelockError(window))
+			return
+		}
+		r.wdLast = progress
+		r.armWatchdog()
+	})
+}
 
 func (r *runner) run(w Workload) error {
 	// Build the full thread list before spawning any goroutine: threads
@@ -149,6 +174,10 @@ func (r *runner) run(w Workload) error {
 		t := t
 		r.m.eng.Schedule(0, func() { r.pump(t) })
 	}
+	if r.m.cfg.WatchdogCycles > 0 {
+		r.wdLast = r.m.stats.Commits + r.m.stats.Fallbacks
+		r.armWatchdog()
+	}
 	_, err := r.m.eng.Run(r.m.cfg.CycleLimit)
 	if err != nil {
 		r.kill()
@@ -185,6 +214,12 @@ func (r *runner) pump(t *tctx) {
 	if !ok {
 		t.done = true
 		r.active--
+		if r.active == 0 && r.wd != nil {
+			// Keeping the tick pending would hold the event queue open and
+			// inflate the Cycles stat past the last real event.
+			r.m.eng.Cancel(r.wd)
+			r.wd = nil
+		}
 		return
 	}
 	r.dispatch(t, req)
@@ -202,14 +237,21 @@ func (r *runner) dispatch(t *tctx, req opReq) {
 	switch req.kind {
 	case opLoad:
 		n.Load(req.addr, req.inTx, func(v uint64, ab bool) {
+			if !ab {
+				m.emitOp(n.id, OpLoad, req.inTx, req.addr, v, 0, true)
+			}
 			finish(opReply{val: v, aborted: ab})
 		})
 	case opStore:
 		n.Store(req.addr, req.val, req.inTx, func(ab bool) {
+			if !ab {
+				m.emitOp(n.id, OpStore, req.inTx, req.addr, req.val, 0, true)
+			}
 			finish(opReply{aborted: ab})
 		})
 	case opCAS:
 		n.CAS(req.addr, req.val, req.val2, func(prev uint64, sw bool) {
+			m.emitOp(n.id, OpCAS, false, req.addr, prev, req.val2, sw)
 			finish(opReply{val: prev, swapped: sw})
 		})
 	case opWork:
@@ -221,6 +263,13 @@ func (r *runner) dispatch(t *tctx, req opReq) {
 			finish(opReply{aborted: req.inTx && !n.tx.InTx()})
 		})
 	case opBegin:
+		if m.cfg.MaxAttempts > 0 && req.attempt > m.cfg.MaxAttempts {
+			// Starvation budget exceeded: halt the engine with the dump.
+			// No reply is sent (pendingOp stays set), so the kill() path
+			// unwinds this thread once Run returns the error.
+			m.eng.Halt(m.starvationError(n.id, req.attempt))
+			return
+		}
 		n.BeginTx(req.attempt, req.power, func(ok bool) {
 			finish(opReply{ok: ok})
 		})
@@ -239,7 +288,16 @@ func (r *runner) dispatch(t *tctx, req opReq) {
 		})
 	case opEnterFallback:
 		n.EnterFallback()
-		m.eng.Schedule(1, func() { finish(opReply{ok: true}) })
+		delay := uint64(1)
+		if m.inj != nil {
+			if d := m.inj.LockBurstDelay(); d > 0 {
+				// Contention burst: the lock holder stalls inside the
+				// critical section, stressing subscribed transactions.
+				m.countFault(n.id, "lockburst")
+				delay += d
+			}
+		}
+		m.eng.Schedule(delay, func() { finish(opReply{ok: true}) })
 	case opExitFallback:
 		n.ExitFallback()
 		m.eng.Schedule(1, func() { finish(opReply{ok: true}) })
@@ -281,15 +339,30 @@ func (t *tctx) Work(n uint64) {
 	t.do(opReq{kind: opWork, val: n})
 }
 
+// maxBackoffDelay caps one backoff wait. Without the cap a huge
+// BackoffBase (or base == MaxUint64, where base+1 wraps to zero) would
+// overflow the shift/add below into a tiny or bogus delay.
+const maxBackoffDelay = 1 << 32
+
 // backoff computes the randomized retry delay after the given number of
-// aborts.
+// aborts. It always draws exactly once from the thread PRNG so the
+// random stream — and with it run determinism — is independent of the
+// clamping. For the default BackoffBase the result is bit-identical to
+// the unclamped formula.
 func (t *tctx) backoff(aborts int) uint64 {
 	shift := aborts
 	if shift > 5 {
 		shift = 5
 	}
 	base := t.r.m.cfg.BackoffBase
-	return base<<uint(shift) + t.rng.Uint64n(base+1)
+	if base > maxBackoffDelay {
+		base = maxBackoffDelay
+	}
+	d := base << uint(shift)
+	if d > maxBackoffDelay {
+		d = maxBackoffDelay
+	}
+	return d + t.rng.Uint64n(base+1)
 }
 
 // Atomic implements the retry / power-token / fallback-lock state

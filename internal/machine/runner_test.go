@@ -2,11 +2,13 @@ package machine
 
 import (
 	"fmt"
+	"math"
 	"testing"
 
 	"chats/internal/core"
 	"chats/internal/htm"
 	"chats/internal/mem"
+	"chats/internal/sim"
 )
 
 // fallbackProbeWL forces thread 0's transaction to exhaust its retries
@@ -158,5 +160,45 @@ func TestThreadRandsDiffer(t *testing.T) {
 			t.Fatal("duplicate thread seed")
 		}
 		seen[seed] = true
+	}
+}
+
+// The backoff clamp must keep pathological BackoffBase values sane (a
+// MaxUint64 base once wrapped base+1 to zero and shifted into garbage)
+// while staying bit-identical to the plain formula for the default base.
+func TestBackoffClampsOverflow(t *testing.T) {
+	mk := func(base uint64) *tctx {
+		return &tctx{r: &runner{m: &Machine{cfg: Config{BackoffBase: base}}}, rng: sim.NewRand(7)}
+	}
+
+	tc := mk(math.MaxUint64)
+	for _, aborts := range []int{1, 2, 5, 6, 40} {
+		d := tc.backoff(aborts)
+		if d < maxBackoffDelay || d > 2*maxBackoffDelay {
+			t.Fatalf("base=MaxUint64 aborts=%d: delay %d outside [%d, %d]",
+				aborts, d, uint64(maxBackoffDelay), uint64(2*maxBackoffDelay))
+		}
+	}
+
+	// A base below the cap whose shifted value overflows the cap.
+	tc = mk(maxBackoffDelay - 1)
+	if d := tc.backoff(40); d < maxBackoffDelay || d > 2*maxBackoffDelay {
+		t.Fatalf("base=cap-1 aborts=40: delay %d outside [%d, %d]",
+			d, uint64(maxBackoffDelay), uint64(2*maxBackoffDelay))
+	}
+
+	// Default base: clamp is a no-op, including the PRNG stream.
+	base := DefaultConfig().BackoffBase
+	tc = mk(base)
+	ref := sim.NewRand(7)
+	for aborts := 1; aborts <= 8; aborts++ {
+		shift := aborts
+		if shift > 5 {
+			shift = 5
+		}
+		want := base<<uint(shift) + ref.Uint64n(base+1)
+		if got := tc.backoff(aborts); got != want {
+			t.Fatalf("aborts=%d: backoff %d, want unclamped %d", aborts, got, want)
+		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"chats/internal/core"
+	"chats/internal/faults"
 )
 
 // TestSoakAllSystems runs the contended bank workload across several
@@ -65,6 +66,37 @@ func TestSoakSmallCache(t *testing.T) {
 			cfg.L1Ways = 4
 			runWL(t, kind, &bankWL{accounts: 64, iters: 50}, cfg)
 			runWL(t, kind, &migratoryWL{slots: 8, iters: 30}, cfg)
+		})
+	}
+}
+
+// TestSoakUnderFaults repeats the mixed-pattern soak with the canonical
+// all-kinds fault plan and the watchdog armed: every system must still
+// terminate with the workload's money/state checks intact while
+// spurious aborts, forced validation failures, VSB pressure, jitter,
+// directory nacks, power denial and lock bursts all fire. (The
+// invariants-on version of this soak lives in internal/invariant and
+// internal/experiments, which may import both packages.)
+func TestSoakUnderFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	plan := faults.SoakPlan()
+	for _, kind := range core.Kinds() {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			t.Parallel()
+			for seed := uint64(1); seed <= 3; seed++ {
+				cfg := testCfg()
+				cfg.Seed = seed
+				cfg.Faults = &plan
+				cfg.WatchdogCycles = 5_000_000
+				st := runWL(t, kind, &bankWL{accounts: 12, iters: 40}, cfg)
+				if st.FaultsInjected == 0 {
+					t.Fatalf("seed %d: no faults injected", seed)
+				}
+				runWL(t, kind, &migratoryWL{slots: 6, iters: 30}, cfg)
+			}
 		})
 	}
 }

@@ -48,6 +48,11 @@ type RunStats struct {
 	SpecDropVSB    uint64 // SpecResp dropped: VSB full, access retried
 	SpecDropReject uint64 // consumer-side policy rejection (cycle race)
 	NackRetries    uint64
+
+	// FaultsInjected counts every injected fault across all kinds (zero
+	// without a fault plan). Its presence in the comparable struct makes
+	// the -j1/-jN determinism tests cover the fault schedule too.
+	FaultsInjected uint64
 }
 
 // AbortRate returns aborts per executed transaction attempt.

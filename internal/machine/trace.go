@@ -46,14 +46,85 @@ type XTracer interface {
 	VSBOccupancy(cycle uint64, core, occ int)
 }
 
+// OpKind classifies a workload-level memory operation in the OpTracer
+// stream.
+type OpKind uint8
+
+const (
+	OpLoad OpKind = iota
+	OpStore
+	OpCAS
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpLoad:
+		return "load"
+	case OpStore:
+		return "store"
+	case OpCAS:
+		return "cas"
+	}
+	return fmt.Sprintf("OpKind(%d)", uint8(k))
+}
+
+// OpTracer is an optional Tracer extension receiving every completed
+// workload-level memory operation (the Ctx/Tx API surface — internal
+// protocol traffic such as lock subscriptions and validation requests is
+// not reported). The invariant checker's serializability oracle consumes
+// this stream. Resolved once at SetTracer, like XTracer.
+type OpTracer interface {
+	// Op: core completed a memory operation. For OpLoad val is the value
+	// read; for OpStore the value written; for OpCAS val is the previous
+	// value, val2 the attempted new value and ok whether it swapped.
+	// inTx marks speculative (transactional) operations; fallback-path
+	// and plain operations report inTx=false. An operation that itself
+	// dies with its transaction is not reported; completed speculative
+	// operations of a transaction that aborts later ARE reported, and a
+	// consumer must discard them on the TxAbort event.
+	Op(cycle uint64, core int, op OpKind, inTx bool, addr mem.Addr, val, val2 uint64, ok bool)
+}
+
+// FaultTracer is an optional Tracer extension receiving every injected
+// fault. kind is the fault's spec-grammar name ("spurious", "jitter",
+// ...); core is -1 for faults not attributable to a core (jitter).
+type FaultTracer interface {
+	FaultInjected(cycle uint64, core int, kind string)
+}
+
+// RunChecker is an optional Tracer extension hooked into the run
+// lifecycle: BeginRun fires after Workload.Setup (simulated memory laid
+// out, no thread started), EndRun after the caches are flushed back to
+// memory. A non-nil EndRun error fails the run. The invariant checker
+// seeds and verifies its re-execution oracle through these.
+type RunChecker interface {
+	BeginRun(m *Machine)
+	EndRun(m *Machine) error
+}
+
 // SetTracer attaches a tracer (nil detaches). Call before Run. When the
 // tracer also implements XTracer, the extended events (conflict
-// attribution, nack retries, VSB occupancy) are delivered too.
+// attribution, nack retries, VSB occupancy) are delivered too; the same
+// applies to the OpTracer, FaultTracer and RunChecker extensions.
 func (m *Machine) SetTracer(t Tracer) {
 	m.tracer = t
 	m.xtracer = nil
-	if x, ok := t.(XTracer); ok && t != nil {
-		m.xtracer = x
+	m.optracer = nil
+	m.ftracer = nil
+	m.checker = nil
+	if t != nil {
+		if x, ok := t.(XTracer); ok {
+			m.xtracer = x
+		}
+		if o, ok := t.(OpTracer); ok {
+			m.optracer = o
+		}
+		if f, ok := t.(FaultTracer); ok {
+			m.ftracer = f
+		}
+		if c, ok := t.(RunChecker); ok {
+			m.checker = c
+		}
 	}
 	for _, n := range m.nodes {
 		n.tx.VSB.Observer = nil

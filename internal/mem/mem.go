@@ -90,6 +90,15 @@ func (m *Memory) WriteWord(a Addr, v uint64) {
 // Touched returns the number of distinct lines ever written.
 func (m *Memory) Touched() int { return len(m.lines) }
 
+// ForEachLine calls fn with a copy of every line ever written, in
+// unspecified order. Callers needing determinism must sort the addresses
+// themselves (the invariant checker's shadow memory does).
+func (m *Memory) ForEachLine(fn func(a Addr, l Line)) {
+	for a, l := range m.lines {
+		fn(a, *l)
+	}
+}
+
 // Allocator is a bump allocator over the simulated address space, used
 // by workloads to lay out their data structures. It never reuses
 // addresses; simulated runs are short enough that this is fine and it

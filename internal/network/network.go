@@ -28,6 +28,21 @@ type Network struct {
 	eng         *sim.Engine
 	linkLatency uint64
 	Stats       Stats
+
+	// Jitter, when non-nil, returns extra delivery latency (in cycles)
+	// charged to the message being sent. The fault injector uses it to
+	// model a congested interconnect; it must be deterministic (seeded
+	// from sim.Rand) to keep runs reproducible.
+	//
+	// While Jitter is attached the network delivers in strict send order
+	// (lastDelivery below): a delayed message holds up everything sent
+	// after it, like backpressure in a congested fabric. Stretching
+	// latency without that clamp would let messages overtake each other,
+	// which the coherence protocol — like the real point-to-point
+	// ordered interconnects it models — does not tolerate.
+	Jitter func() uint64
+
+	lastDelivery uint64
 }
 
 // New builds a crossbar attached to the engine.
@@ -52,5 +67,14 @@ func (n *Network) SendData(deliver func()) {
 func (n *Network) send(flits uint64, deliver func()) {
 	n.Stats.Messages++
 	n.Stats.Flits += flits
-	n.eng.Schedule(n.linkLatency+flits, deliver)
+	delay := n.linkLatency + flits
+	if n.Jitter != nil {
+		delay += n.Jitter()
+		now := n.eng.Now()
+		if now+delay < n.lastDelivery {
+			delay = n.lastDelivery - now
+		}
+		n.lastDelivery = now + delay
+	}
+	n.eng.Schedule(delay, deliver)
 }

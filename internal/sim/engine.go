@@ -69,7 +69,24 @@ type Engine struct {
 	// schedule/fire cycle allocates nothing (a simulation schedules one
 	// event per latency hop, which dominated the heap profile before).
 	free []*Event
+	// halt, when set by Halt, stops Run before the next event fires. It
+	// lets in-event code (watchdogs, invariant checkers) abort the whole
+	// simulation with a diagnostic instead of unwinding through every
+	// caller on the event stack.
+	halt error
 }
+
+// Halt requests that Run stop before firing the next event, returning
+// err. Safe to call from inside an event callback; the current event
+// finishes normally. Calling Halt again keeps the first error.
+func (e *Engine) Halt(err error) {
+	if e.halt == nil {
+		e.halt = err
+	}
+}
+
+// Halted returns the pending halt error, if any.
+func (e *Engine) Halted() error { return e.halt }
 
 // Now returns the current simulation cycle.
 func (e *Engine) Now() uint64 { return e.now }
@@ -146,11 +163,22 @@ func (e *Engine) Step() bool {
 func (e *Engine) Run(limit uint64) (uint64, error) {
 	start := e.fired
 	for len(e.events) > 0 {
+		if e.halt != nil {
+			err := e.halt
+			e.halt = nil
+			return e.fired - start, err
+		}
 		if limit != 0 && e.events[0].cycle > limit {
 			return e.fired - start, fmt.Errorf("sim: cycle limit %d reached with %d events pending at cycle %d",
 				limit, len(e.events), e.events[0].cycle)
 		}
 		e.Step()
+	}
+	// The last event may itself have requested the halt.
+	if e.halt != nil {
+		err := e.halt
+		e.halt = nil
+		return e.fired - start, err
 	}
 	return e.fired - start, nil
 }

@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"errors"
+	"strings"
 	"sync/atomic"
 	"testing"
 )
@@ -65,6 +66,64 @@ func TestMapCancelsAfterError(t *testing.T) {
 	// Cells already claimed may finish, but the bulk must be skipped.
 	if got := ran.Load(); got > 100 {
 		t.Fatalf("ran %d cells after early error", got)
+	}
+}
+
+func TestMapRecoversCellPanic(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := Map(workers, 8, nil, func(i int) error {
+			if i == 5 {
+				panic("cell exploded")
+			}
+			return nil
+		})
+		var cp *CellPanic
+		if !errors.As(err, &cp) {
+			t.Fatalf("workers=%d: err = %v, want *CellPanic", workers, err)
+		}
+		if cp.Index != 5 || cp.Value != "cell exploded" {
+			t.Fatalf("workers=%d: panic attribution = %d/%v", workers, cp.Index, cp.Value)
+		}
+		if !strings.Contains(err.Error(), "cell 5 panicked") || len(cp.Stack) == 0 {
+			t.Fatalf("workers=%d: diagnostic lost: %v", workers, err)
+		}
+	}
+}
+
+func TestMapAllRunsEverythingPastFailures(t *testing.T) {
+	bad := errors.New("bad cell")
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int64
+		errs := MapAll(workers, 30, nil, func(i int) error {
+			ran.Add(1)
+			switch {
+			case i == 2:
+				return bad
+			case i == 17:
+				panic("boom")
+			}
+			return nil
+		})
+		if got := ran.Load(); got != 30 {
+			t.Fatalf("workers=%d: ran %d of 30 cells", workers, got)
+		}
+		for i, err := range errs {
+			switch i {
+			case 2:
+				if !errors.Is(err, bad) {
+					t.Fatalf("cell 2 err = %v", err)
+				}
+			case 17:
+				var cp *CellPanic
+				if !errors.As(err, &cp) || cp.Index != 17 {
+					t.Fatalf("cell 17 err = %v", err)
+				}
+			default:
+				if err != nil {
+					t.Fatalf("cell %d err = %v", i, err)
+				}
+			}
+		}
 	}
 }
 

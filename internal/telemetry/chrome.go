@@ -124,6 +124,15 @@ func (c *Collector) WriteChromeTrace(w io.Writer) error {
 				Name: "fallback-lock", Ph: "i", Ts: e.Cycle, Pid: 0, Tid: e.Core,
 				Cat: "fallback", S: "t",
 			})
+		case KindFault:
+			tid := e.Core
+			if tid < 0 {
+				tid = 0
+			}
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "fault(" + e.Fault + ")", Ph: "i", Ts: e.Cycle, Pid: 0, Tid: tid,
+				Cat: "fault", S: "t",
+			})
 		}
 	}
 	enc := json.NewEncoder(w)

@@ -227,3 +227,12 @@ func (c *Collector) VSBOccupancy(cycle uint64, core, occ int) {
 	c.vsbOcc.Observe(uint64(occ))
 	c.record(Event{Cycle: cycle, Kind: KindVSB, Core: core, Peer: -1, Occ: occ})
 }
+
+// ---------- machine.FaultTracer ----------
+
+// FaultInjected records one injected fault (core is -1 for faults not
+// attributable to a core, e.g. network jitter).
+func (c *Collector) FaultInjected(cycle uint64, core int, kind string) {
+	c.Reg.Counter("fault/" + kind).Inc()
+	c.record(Event{Cycle: cycle, Kind: KindFault, Core: core, Peer: -1, Fault: kind})
+}

@@ -35,6 +35,7 @@ const (
 	KindConflict
 	KindNack
 	KindVSB
+	KindFault
 )
 
 func (k Kind) String() string {
@@ -59,6 +60,8 @@ func (k Kind) String() string {
 		return "nack"
 	case KindVSB:
 		return "vsb"
+	case KindFault:
+		return "fault"
 	}
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }
@@ -85,6 +88,7 @@ type Event struct {
 	Decision htm.ProbeDecision   // conflict
 	OK       bool                // validate
 	Occ      int                 // vsb
+	Fault    string              // fault: injected kind ("spurious", ...)
 }
 
 // appendJSON renders the event as one JSON object without reflection, so
@@ -112,6 +116,8 @@ func (e Event) appendJSON(b []byte) []byte {
 		b = fmt.Appendf(b, `,"probe":%q,"decision":%q`, e.Probe.String(), e.Decision.String())
 	case KindVSB:
 		b = fmt.Appendf(b, `,"occ":%d`, e.Occ)
+	case KindFault:
+		b = fmt.Appendf(b, `,"fault":%q`, e.Fault)
 	}
 	return append(b, '}', '\n')
 }

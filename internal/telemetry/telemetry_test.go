@@ -16,8 +16,9 @@ import (
 // structurally — this package deliberately never imports internal/machine
 // outside its tests, so these assertions are the only compile-time tie.
 var (
-	_ machine.Tracer  = (*Collector)(nil)
-	_ machine.XTracer = (*Collector)(nil)
+	_ machine.Tracer      = (*Collector)(nil)
+	_ machine.XTracer     = (*Collector)(nil)
+	_ machine.FaultTracer = (*Collector)(nil)
 )
 
 // feedScenario drives a small synthetic event sequence through the
@@ -44,6 +45,8 @@ func feedScenario(c *Collector) {
 	c.VSBOccupancy(210, 1, 0)
 	c.TxCommit(220, 1, 1)
 	c.Fallback(230, 2)
+	c.FaultInjected(240, 2, "spurious")
+	c.FaultInjected(250, -1, "jitter")
 }
 
 func TestCollectorAggregates(t *testing.T) {
@@ -61,6 +64,9 @@ func TestCollectorAggregates(t *testing.T) {
 	}
 	if got := c.Reg.Counter("tx/fallbacks").N; got != 1 {
 		t.Errorf("fallbacks = %d, want 1", got)
+	}
+	if got := c.Reg.Counter("fault/spurious").N + c.Reg.Counter("fault/jitter").N; got != 2 {
+		t.Errorf("fault counters = %d, want 2", got)
 	}
 
 	// tx latencies: core 0 ran 100..200, core 1 ran 110..220.
@@ -228,9 +234,9 @@ func TestWriteChromeTrace(t *testing.T) {
 	if sID == 0 || sID != fID {
 		t.Errorf("flow ids start=%d end=%d, want matching non-zero", sID, fID)
 	}
-	// Instants: conflicts, nack retry, fallback.
-	if byPh["i"] != 2+1+1 {
-		t.Errorf("instants = %d, want 4", byPh["i"])
+	// Instants: conflicts, nack retry, fallback, two injected faults.
+	if byPh["i"] != 2+1+1+2 {
+		t.Errorf("instants = %d, want 6", byPh["i"])
 	}
 }
 
