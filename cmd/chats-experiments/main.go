@@ -41,12 +41,24 @@ func main() {
 		benchJSON = flag.String("bench-json", "", "write a machine-readable bench trajectory {cell, simcycles, wallclock_ns, allocs} to this file")
 		soak      = flag.Bool("faults-soak", false, "instead of figures, run every system × micro bench under the fault plan with invariants and the watchdog on")
 		faultSpec = flag.String("faults", "", "fault spec for -faults-soak (default: the canonical all-kinds soak plan)")
+		fuzzN     = flag.Int("fuzz-smoke", 0, "instead of figures, differentially fuzz N seeded random programs across all systems (0 = off)")
+		fuzzSeed  = flag.Uint64("fuzz-seed", 1, "first generator seed for -fuzz-smoke")
 	)
 	flag.Parse()
 
 	sz, err := workloads.ParseSize(*size)
 	if err != nil {
 		fatal(err)
+	}
+	if *fuzzN > 0 {
+		p := experiments.Params{Size: sz, Machine: machine.DefaultConfig(), Workers: *jobs}
+		p.Machine.Seed = *seed
+		rep := experiments.FuzzSmoke(p, *fuzzSeed, *fuzzN)
+		experiments.WriteFuzzReport(os.Stdout, rep)
+		if !rep.Ok() {
+			os.Exit(1)
+		}
+		return
 	}
 	if *profile != "" {
 		if err := runProfile(*profile, *profSys, sz, *seed); err != nil {

@@ -7,6 +7,8 @@
 //	chatsim -trace-chrome out.json -bench kmeans-h   # load in Perfetto
 //	chatsim -hot-lines 8 -chain -metrics -bench cadd
 //	chatsim -sweep -systems baseline,chats -benches cadd,llb-h -j 4
+//	chatsim -fuzz 50 -size tiny -minimize            # differential fuzzing
+//	chatsim -repro 'rp1;cores=2;pool=4;pack=1;priv=0|[a0+1]|[s0+2]'
 //	chatsim -dump-config     # Table I
 //	chatsim -dump-systems    # Table II
 //	chatsim -list            # available benchmarks and systems
@@ -53,6 +55,13 @@ func main() {
 		invariants  = flag.Bool("invariants", false, "attach the runtime invariant checker (chains, coherence, serializability oracle)")
 		wdCycles    = flag.Uint64("watchdog-cycles", 0, "arm the livelock watchdog: kill the run with a diagnostic dump after this many cycles without a commit or fallback (0 = off)")
 		maxAttempts = flag.Int("max-attempts", 0, "per-transaction attempt budget before the starvation watchdog kills the run (0 = off)")
+		fuzzN       = flag.Int("fuzz", 0, "differential-fuzz N seeded random programs across systems (0 = off)")
+		fuzzSeed    = flag.Uint64("fuzz-seed", 1, "first generator seed for -fuzz")
+		fuzzBudget  = flag.Duration("fuzz-budget", 0, "wall-clock budget for -fuzz (0 = none; budgeted runs are not seed-reproducible)")
+		minimize    = flag.Bool("minimize", false, "shrink each -fuzz failure to a minimal reproducer")
+		reproOut    = flag.String("repro-out", "", "write -fuzz failures (specs + minimized reproducers) as JSON to this file")
+		fuzzBreak   = flag.Bool("fuzz-break", false, "oracle self-test: break CHATS validation on purpose; the fuzz campaign must catch it")
+		repro       = flag.String("repro", "", "replay one rp1 spec (or @file) through the differential oracle and exit")
 		doSweep     = flag.Bool("sweep", false, "run a (systems × benches) grid instead of a single cell")
 		sweepSys    = flag.String("systems", "", "comma-separated systems for -sweep (default: all)")
 		sweepBench  = flag.String("benches", "", "comma-separated benchmarks for -sweep (default: all)")
@@ -93,6 +102,20 @@ func main() {
 	if *list {
 		fmt.Println("benchmarks:", strings.Join(workloads.Names(), " "))
 		fmt.Println("systems:   ", strings.Join(systemNames(), " "))
+		return
+	}
+
+	if *fuzzN > 0 {
+		if err := runFuzz(cfg, *fuzzN, *fuzzSeed, *size, *sweepSys, *jobs,
+			*fuzzBudget, *minimize, *reproOut, *fuzzBreak, *jsonOut); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *repro != "" {
+		if err := runRepro(cfg, *repro, *sweepSys); err != nil {
+			fatal(err)
+		}
 		return
 	}
 

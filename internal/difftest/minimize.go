@@ -1,0 +1,157 @@
+package difftest
+
+import "chats/internal/randprog"
+
+// Minimize delta-debugs a failing program: it repeatedly tries smaller
+// candidates — dropping whole cores, ddmin chunk removal over each
+// core's action list, removing single ops inside blocks, shrinking
+// salts/work amounts and the address pool — and keeps a candidate
+// whenever fails still reports it failing, iterating to a fixpoint or
+// until budget candidate evaluations are spent. Every run is
+// deterministic, so the reduction is reproducible.
+//
+// fails must return true when the candidate still exhibits the
+// failure (typically: CheckSystem against the one failing system
+// returns non-nil). The returned program always fails.
+func Minimize(p *randprog.Program, fails func(*randprog.Program) bool, budget int) *randprog.Program {
+	if budget <= 0 {
+		budget = 500
+	}
+	cur := p.Clone()
+	evals := 0
+	try := func(cand *randprog.Program) bool {
+		if evals >= budget {
+			return false
+		}
+		if cand.Validate() != nil {
+			return false
+		}
+		evals++
+		if fails(cand) {
+			cur = cand
+			return true
+		}
+		return false
+	}
+
+	for pass := 0; pass < 16; pass++ {
+		improved := false
+
+		// Drop whole cores (highest first, so indices shift least).
+		for c := cur.Cores - 1; c >= 0 && cur.Cores > 1; c-- {
+			cand := cur.Clone()
+			cand.Seq = append(cand.Seq[:c], cand.Seq[c+1:]...)
+			cand.Cores--
+			if try(cand) {
+				improved = true
+			}
+		}
+
+		// ddmin over each core's action list: remove chunks, halving the
+		// chunk size down to single actions.
+		for c := 0; c < cur.Cores; c++ {
+			for chunk := len(cur.Seq[c]); chunk >= 1; chunk /= 2 {
+				for start := 0; start < len(cur.Seq[c]); {
+					end := start + chunk
+					if end > len(cur.Seq[c]) {
+						end = len(cur.Seq[c])
+					}
+					cand := cur.Clone()
+					cand.Seq[c] = append(cand.Seq[c][:start], cand.Seq[c][end:]...)
+					if try(cand) {
+						improved = true
+						// cur shrank; retry the same start position.
+						continue
+					}
+					start = end
+				}
+			}
+		}
+
+		// Remove single ops inside blocks.
+		for c := 0; c < cur.Cores; c++ {
+			for i := 0; i < len(cur.Seq[c]); i++ {
+				if cur.Seq[c][i].Kind != randprog.ActBlock {
+					continue
+				}
+				for j := 0; j < len(cur.Seq[c][i].Ops); {
+					cand := cur.Clone()
+					cand.Seq[c][i].Ops = append(cand.Seq[c][i].Ops[:j], cand.Seq[c][i].Ops[j+1:]...)
+					if try(cand) {
+						improved = true
+						continue // same j now names the next op
+					}
+					j++
+				}
+			}
+		}
+
+		// Shrink magnitudes: salts and work amounts to 1.
+		for c := 0; c < cur.Cores; c++ {
+			for i := range cur.Seq[c] {
+				a := &cur.Seq[c][i]
+				if a.Kind != randprog.ActBlock {
+					if a.Arg > 1 {
+						cand := cur.Clone()
+						cand.Seq[c][i].Arg = 1
+						if try(cand) {
+							improved = true
+						}
+					}
+					continue
+				}
+				for j := range a.Ops {
+					if a.Ops[j].Arg > 1 {
+						cand := cur.Clone()
+						cand.Seq[c][i].Ops[j].Arg = 1
+						if try(cand) {
+							improved = true
+						}
+					}
+				}
+			}
+		}
+
+		// Shrink the layout: smaller pool (remapping slots), pack 1,
+		// fewer private slots.
+		if cur.Pool > 1 {
+			for _, newPool := range []int{cur.Pool / 2, cur.Pool - 1} {
+				if newPool < 1 || newPool >= cur.Pool {
+					continue
+				}
+				cand := cur.Clone()
+				cand.Pool = newPool
+				remap := func(slot int) int { return slot % newPool }
+				for c := range cand.Seq {
+					for i := range cand.Seq[c] {
+						a := &cand.Seq[c][i]
+						if a.Kind == randprog.ActLoad {
+							a.Slot = remap(a.Slot)
+						}
+						for j := range a.Ops {
+							if a.Ops[j].Kind != randprog.OpWork {
+								a.Ops[j].Slot = remap(a.Ops[j].Slot)
+							}
+						}
+					}
+				}
+				if try(cand) {
+					improved = true
+					break
+				}
+			}
+		}
+		if cur.Pack > 1 {
+			cand := cur.Clone()
+			cand.Pack = 1
+			if try(cand) {
+				improved = true
+			}
+		}
+
+		if !improved || evals >= budget {
+			break
+		}
+	}
+	return cur
+}

@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"chats/internal/difftest"
+	"chats/internal/randprog"
+)
+
+// FuzzSmoke runs a fixed-seed differential-fuzzing campaign sized for
+// CI: N seeded random programs checked on all five systems with the
+// full oracle stack (invariants, accounting, commit-order replay),
+// minimizing any failure. Honors p.Size (generator preset), p.Machine,
+// p.Workers and p.Faults; results are bit-identical at any Workers.
+func FuzzSmoke(p Params, start uint64, n int) *difftest.Report {
+	g := randprog.Preset(int(p.Size))
+	g.AddFrac = 0.5 // mix blind stores in: order-sensitive coverage
+	cfg := p.Machine
+	return difftest.Fuzz(difftest.FuzzOptions{
+		Start:    start,
+		N:        n,
+		Gen:      g,
+		Check:    difftest.Options{Machine: &cfg, Seed: cfg.Seed, Faults: p.Faults},
+		Jobs:     p.Workers,
+		Minimize: true,
+	})
+}
+
+// WriteFuzzReport renders a campaign outcome, one line per failure.
+func WriteFuzzReport(w io.Writer, rep *difftest.Report) {
+	fmt.Fprintln(w, rep.Summary())
+	for _, f := range rep.Failures {
+		fmt.Fprintf(w, "  seed %d: %s\n    spec: %s\n", f.Seed, f.Err, f.Spec)
+		if f.MinSpec != "" {
+			fmt.Fprintf(w, "    minimized (%d ops): %s\n", f.MinOps, f.MinSpec)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package htm
+
+import (
+	"testing"
+
+	"chats/internal/mem"
+)
+
+// Re-forwarding a line already buffered must refresh the stored copy in
+// place without consuming a second entry — the original copy is what
+// validation compares against, and the newest forwarding carries the
+// producer's current data.
+func TestVSBRefreshOnDuplicate(t *testing.T) {
+	v := NewVSB(2)
+	if !v.Add(0x40, mem.Line{1}) || !v.Add(0x80, mem.Line{2}) {
+		t.Fatal("adds failed")
+	}
+	if !v.Full() {
+		t.Fatal("expected full")
+	}
+	// Duplicate add succeeds even though the buffer is full.
+	if !v.Add(0x40, mem.Line{9}) {
+		t.Fatal("refresh of buffered line failed on a full VSB")
+	}
+	if v.Len() != 2 {
+		t.Fatalf("refresh changed occupancy: %d", v.Len())
+	}
+	if d, ok := v.Lookup(0x40); !ok || d[0] != 9 {
+		t.Fatalf("refresh did not replace the copy: %v %v", d, ok)
+	}
+	// Offsets within the same line alias the same entry.
+	if !v.Add(0x44, mem.Line{7}) {
+		t.Fatal("same-line offset treated as a new entry")
+	}
+	if d, _ := v.Lookup(0x40); d[0] != 7 {
+		t.Fatal("offset refresh missed the line entry")
+	}
+}
+
+// At capacity the VSB refuses new lines (the machine then drops the
+// SpecResp and retries the access non-speculatively); freeing any entry
+// reopens exactly one slot.
+func TestVSBCapacityAndReopen(t *testing.T) {
+	v := NewVSB(4)
+	for i := 0; i < 4; i++ {
+		if !v.Add(mem.Addr(0x40*(i+1)), mem.Line{uint64(i)}) {
+			t.Fatalf("add %d failed below capacity", i)
+		}
+	}
+	if v.Add(0x400, mem.Line{}) {
+		t.Fatal("add above capacity succeeded")
+	}
+	if !v.Remove(0x80) {
+		t.Fatal("remove failed")
+	}
+	if !v.Add(0x400, mem.Line{5}) {
+		t.Fatal("freed slot not reusable")
+	}
+	if v.Add(0x440, mem.Line{}) {
+		t.Fatal("buffer should be full again")
+	}
+}
+
+// The validation pointer must skip holes left by out-of-order removals
+// and keep its round-robin position across them.
+func TestVSBValidationPointerSkipsHoles(t *testing.T) {
+	v := NewVSB(4)
+	lines := []mem.Addr{0x40, 0x80, 0xC0, 0x100}
+	for _, l := range lines {
+		v.Add(l, mem.Line{})
+	}
+	// Advance the pointer past slot 0.
+	if e, ok := v.NextToValidate(); !ok || e.Line != 0x40 {
+		t.Fatalf("first validation target = %+v, %v", e, ok)
+	}
+	// Remove the next two targets; the pointer must skip to 0x100.
+	v.Remove(0x80)
+	v.Remove(0xC0)
+	if e, ok := v.NextToValidate(); !ok || e.Line != 0x100 {
+		t.Fatalf("after holes, target = %+v, %v", e, ok)
+	}
+	// Round robin wraps back to slot 0.
+	if e, ok := v.NextToValidate(); !ok || e.Line != 0x40 {
+		t.Fatalf("wraparound target = %+v, %v", e, ok)
+	}
+}
+
+// Clear must reset the round-robin pointer: a transaction beginning
+// after an abort validates its first buffered line first.
+func TestVSBClearResetsPointer(t *testing.T) {
+	v := NewVSB(2)
+	v.Add(0x40, mem.Line{})
+	v.Add(0x80, mem.Line{})
+	v.NextToValidate() // pointer now at slot 1
+	v.Clear()
+	v.Add(0xC0, mem.Line{})
+	v.Add(0x100, mem.Line{})
+	if e, _ := v.NextToValidate(); e.Line != 0xC0 {
+		t.Fatalf("pointer survived Clear: first target %v", e.Line)
+	}
+}
+
+// The occupancy observer sees every transition exactly once, including
+// the implicit drop on Clear, and nothing on no-op paths (refresh,
+// failed add, clearing an empty buffer).
+func TestVSBObserver(t *testing.T) {
+	v := NewVSB(2)
+	var seen []int
+	v.Observer = func(n int) { seen = append(seen, n) }
+	v.Add(0x40, mem.Line{})
+	v.Add(0x80, mem.Line{})
+	v.Add(0x40, mem.Line{1}) // refresh: no occupancy change
+	v.Add(0xC0, mem.Line{})  // full: dropped
+	v.Remove(0x40)
+	v.Clear()
+	v.Clear() // already empty: no callback
+	want := []int{1, 2, 1, 0}
+	if len(seen) != len(want) {
+		t.Fatalf("observer saw %v, want %v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("observer saw %v, want %v", seen, want)
+		}
+	}
+}

@@ -4,7 +4,10 @@
 // chaining protocols promise:
 //
 //   - chain acyclicity: the observed forwarding graph (Forward/Consume
-//     events) never contains a cycle among live transactions;
+//     events) never contains a cycle among live transactions — checked
+//     for edges carrying a chain position (PiC-tracking systems); the
+//     naive design's PiC-less edges may legally form transient cycles
+//     that its validation counter breaks;
 //   - PiC/Cons consistency: a consumer accepting a speculative line at
 //     PiC p ends up strictly below p in the chain, sets its Cons bit,
 //     and a non-empty VSB always implies Cons;
@@ -362,7 +365,12 @@ func (c *Checker) Consume(cycle uint64, core int, line mem.Addr, pic coherence.P
 		c.violation("cycle %d core %d: consumed %v at PiC %d but sits at PiC %d (must be strictly below the producer)",
 			cycle, core, line, pic, snap.PiC)
 	}
-	if c.cyclic(core, e) {
+	// Acyclicity is a promise of the PiC protocol, so it attaches only
+	// to edges that carry a chain position (valid PiC or PiCPower). The
+	// naive design forwards with PiCNone and legitimately forms
+	// transient cycles — its validation counter, not chain order, is
+	// what breaks them (Section VI-B).
+	if (pic.Valid() || pic == coherence.PiCPower) && c.cyclic(core, e) {
 		c.violation("cycle %d core %d: consuming %v from core %d closes a chain cycle",
 			cycle, core, line, e.producer)
 	}

@@ -10,8 +10,17 @@ import (
 	"chats/internal/htm"
 	"chats/internal/invariant"
 	"chats/internal/machine"
+	"chats/internal/testutil"
 	"chats/internal/workloads"
 )
+
+// checkedCfg is the registry-workload variant of testutil.Config: Tiny
+// benchmarks need more headroom than the hand-rolled micro workloads.
+func checkedCfg() machine.Config {
+	cfg := testutil.Config()
+	cfg.CycleLimit = 200_000_000
+	return cfg
+}
 
 // runChecked runs workload wl on the given policy with a fresh Checker
 // attached and returns the run error plus the checker.
@@ -21,19 +30,11 @@ func runChecked(t *testing.T, kind core.Kind, wl string, mutate func(*machine.Co
 	if err != nil {
 		t.Fatal(err)
 	}
-	policy, err := core.New(kind)
-	if err != nil {
-		t.Fatal(err)
-	}
-	cfg := machine.DefaultConfig()
-	cfg.CycleLimit = 200_000_000
+	cfg := checkedCfg()
 	if mutate != nil {
 		mutate(&cfg)
 	}
-	m, err := machine.New(cfg, policy)
-	if err != nil {
-		t.Fatal(err)
-	}
+	m := testutil.Machine(t, cfg, testutil.Policy(t, kind))
 	chk := invariant.New()
 	m.SetTracer(chk)
 	_, err = m.Run(w)
@@ -104,17 +105,9 @@ func TestBrokenPolicyCaught(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	policy, err := core.New(core.KindCHATS)
-	if err != nil {
-		t.Fatal(err)
-	}
-	cfg := machine.DefaultConfig()
-	cfg.CycleLimit = 200_000_000
+	cfg := checkedCfg()
 	cfg.Faults = &plan
-	m, err := machine.New(cfg, brokenPolicy{policy})
-	if err != nil {
-		t.Fatal(err)
-	}
+	m := testutil.Machine(t, cfg, brokenPolicy{testutil.Policy(t, core.KindCHATS)})
 	chk := invariant.New()
 	m.SetTracer(chk)
 	_, runErr := m.Run(w)
@@ -136,13 +129,7 @@ func TestCheckerReuse(t *testing.T) {
 	chk := invariant.New()
 	for i := 0; i < 2; i++ {
 		w, _ := workloads.New("cadd", workloads.Tiny)
-		policy, _ := core.New(core.KindCHATS)
-		cfg := machine.DefaultConfig()
-		cfg.CycleLimit = 200_000_000
-		m, err := machine.New(cfg, policy)
-		if err != nil {
-			t.Fatal(err)
-		}
+		m := testutil.Machine(t, checkedCfg(), testutil.Policy(t, core.KindCHATS))
 		m.SetTracer(chk)
 		if _, err := m.Run(w); err != nil {
 			t.Fatal(err)

@@ -1,0 +1,149 @@
+package machine
+
+import (
+	"fmt"
+	"testing"
+
+	"chats/internal/core"
+	"chats/internal/mem"
+)
+
+// Shared fixtures for the machine package's *internal* tests (those
+// that reach unexported state). External test packages use the same
+// harness from chats/internal/testutil, which cannot be imported here
+// (it imports machine — test import cycle).
+
+func testCfg() Config {
+	cfg := DefaultConfig()
+	cfg.CycleLimit = 50_000_000
+	return cfg
+}
+
+func runWL(t *testing.T, kind core.Kind, w Workload, cfg Config) RunStats {
+	t.Helper()
+	policy, err := core.New(kind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(cfg, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := m.Run(w)
+	if err != nil {
+		t.Fatalf("%s: %v", kind, err)
+	}
+	return stats
+}
+
+// counterWL: every thread atomically increments one shared counter iters
+// times — maximal write-write contention.
+type counterWL struct {
+	iters int
+	addr  mem.Addr
+}
+
+func (w *counterWL) Name() string { return "counter" }
+func (w *counterWL) Setup(wd *World, threads int) {
+	w.addr = wd.Alloc.LineAligned(1)
+	wd.Mem.WriteWord(w.addr, 0)
+}
+func (w *counterWL) Thread(ctx Ctx, tid int) {
+	for i := 0; i < w.iters; i++ {
+		ctx.Atomic(func(tx Tx) {
+			v := tx.Load(w.addr)
+			tx.Store(w.addr, v+1)
+		})
+		ctx.Work(20)
+	}
+}
+func (w *counterWL) Check(wd *World) error {
+	got := wd.Mem.ReadWord(w.addr)
+	want := uint64(16 * w.iters)
+	if got != want {
+		return fmt.Errorf("counter = %d, want %d", got, want)
+	}
+	return nil
+}
+
+// bankWL: random transfers between accounts; the total must be conserved
+// (atomicity + isolation witness).
+type bankWL struct {
+	accounts int
+	iters    int
+	base     mem.Addr
+	total    uint64
+}
+
+func (w *bankWL) Name() string { return "bank" }
+func (w *bankWL) Setup(wd *World, threads int) {
+	w.base = wd.Alloc.Lines(w.accounts)
+	for i := 0; i < w.accounts; i++ {
+		wd.Mem.WriteWord(w.base+mem.Addr(i*mem.LineSize), 100)
+	}
+	w.total = uint64(100 * w.accounts)
+}
+func (w *bankWL) acct(i int) mem.Addr { return w.base + mem.Addr(i*mem.LineSize) }
+func (w *bankWL) Thread(ctx Ctx, tid int) {
+	r := ctx.Rand()
+	for i := 0; i < w.iters; i++ {
+		from, to := r.Intn(w.accounts), r.Intn(w.accounts)
+		if from == to {
+			continue
+		}
+		ctx.Atomic(func(tx Tx) {
+			fv := tx.Load(w.acct(from))
+			tv := tx.Load(w.acct(to))
+			if fv == 0 {
+				return
+			}
+			tx.Store(w.acct(from), fv-1)
+			tx.Store(w.acct(to), tv+1)
+		})
+	}
+}
+func (w *bankWL) Check(wd *World) error {
+	var sum uint64
+	for i := 0; i < w.accounts; i++ {
+		sum += wd.Mem.ReadWord(w.acct(i))
+	}
+	if sum != w.total {
+		return fmt.Errorf("bank total = %d, want %d", sum, w.total)
+	}
+	return nil
+}
+
+// migratoryWL: each transaction reads-modifies-writes a private slot and
+// then a migrating shared slot once — the pattern CHATS exploits
+// (write-once migration, Section VII's kmeans/yada discussion).
+type migratoryWL struct {
+	slots int
+	iters int
+	base  mem.Addr
+}
+
+func (w *migratoryWL) Name() string { return "migratory" }
+func (w *migratoryWL) Setup(wd *World, threads int) {
+	w.base = wd.Alloc.Lines(w.slots)
+}
+func (w *migratoryWL) Thread(ctx Ctx, tid int) {
+	r := ctx.Rand()
+	for i := 0; i < w.iters; i++ {
+		slot := w.base + mem.Addr(r.Intn(w.slots)*mem.LineSize)
+		ctx.Atomic(func(tx Tx) {
+			v := tx.Load(slot)
+			tx.Store(slot, v+1)
+			tx.Work(80) // post-write window: the block migrates by forwarding
+		})
+	}
+}
+func (w *migratoryWL) Check(wd *World) error {
+	var sum uint64
+	for i := 0; i < w.slots; i++ {
+		sum += wd.Mem.ReadWord(w.base + mem.Addr(i*mem.LineSize))
+	}
+	if sum != uint64(16*w.iters) {
+		return fmt.Errorf("sum = %d, want %d", sum, 16*w.iters)
+	}
+	return nil
+}

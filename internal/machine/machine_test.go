@@ -1,154 +1,20 @@
-package machine
+package machine_test
 
 import (
-	"fmt"
 	"testing"
 
 	"chats/internal/core"
 	"chats/internal/htm"
+	"chats/internal/machine"
 	"chats/internal/mem"
+	"chats/internal/testutil"
 )
-
-// counterWL: every thread atomically increments one shared counter iters
-// times — maximal write-write contention.
-type counterWL struct {
-	iters int
-	addr  mem.Addr
-}
-
-func (w *counterWL) Name() string { return "counter" }
-func (w *counterWL) Setup(wd *World, threads int) {
-	w.addr = wd.Alloc.LineAligned(1)
-	wd.Mem.WriteWord(w.addr, 0)
-}
-func (w *counterWL) Thread(ctx Ctx, tid int) {
-	for i := 0; i < w.iters; i++ {
-		ctx.Atomic(func(tx Tx) {
-			v := tx.Load(w.addr)
-			tx.Store(w.addr, v+1)
-		})
-		ctx.Work(20)
-	}
-}
-func (w *counterWL) Check(wd *World) error {
-	got := wd.Mem.ReadWord(w.addr)
-	want := uint64(16 * w.iters)
-	if got != want {
-		return fmt.Errorf("counter = %d, want %d", got, want)
-	}
-	return nil
-}
-
-// bankWL: random transfers between accounts; the total must be conserved
-// (atomicity + isolation witness).
-type bankWL struct {
-	accounts int
-	iters    int
-	base     mem.Addr
-	total    uint64
-}
-
-func (w *bankWL) Name() string { return "bank" }
-func (w *bankWL) Setup(wd *World, threads int) {
-	w.base = wd.Alloc.Lines(w.accounts)
-	for i := 0; i < w.accounts; i++ {
-		wd.Mem.WriteWord(w.base+mem.Addr(i*mem.LineSize), 100)
-	}
-	w.total = uint64(100 * w.accounts)
-}
-func (w *bankWL) acct(i int) mem.Addr { return w.base + mem.Addr(i*mem.LineSize) }
-func (w *bankWL) Thread(ctx Ctx, tid int) {
-	r := ctx.Rand()
-	for i := 0; i < w.iters; i++ {
-		from, to := r.Intn(w.accounts), r.Intn(w.accounts)
-		if from == to {
-			continue
-		}
-		ctx.Atomic(func(tx Tx) {
-			fv := tx.Load(w.acct(from))
-			tv := tx.Load(w.acct(to))
-			if fv == 0 {
-				return
-			}
-			tx.Store(w.acct(from), fv-1)
-			tx.Store(w.acct(to), tv+1)
-		})
-	}
-}
-func (w *bankWL) Check(wd *World) error {
-	var sum uint64
-	for i := 0; i < w.accounts; i++ {
-		sum += wd.Mem.ReadWord(w.acct(i))
-	}
-	if sum != w.total {
-		return fmt.Errorf("bank total = %d, want %d", sum, w.total)
-	}
-	return nil
-}
-
-// migratoryWL: each transaction reads-modifies-writes a private slot and
-// then a migrating shared slot once — the pattern CHATS exploits
-// (write-once migration, Section VII's kmeans/yada discussion).
-type migratoryWL struct {
-	slots int
-	iters int
-	base  mem.Addr
-}
-
-func (w *migratoryWL) Name() string { return "migratory" }
-func (w *migratoryWL) Setup(wd *World, threads int) {
-	w.base = wd.Alloc.Lines(w.slots)
-}
-func (w *migratoryWL) Thread(ctx Ctx, tid int) {
-	r := ctx.Rand()
-	for i := 0; i < w.iters; i++ {
-		slot := w.base + mem.Addr(r.Intn(w.slots)*mem.LineSize)
-		ctx.Atomic(func(tx Tx) {
-			v := tx.Load(slot)
-			tx.Store(slot, v+1)
-			tx.Work(80) // post-write window: the block migrates by forwarding
-		})
-	}
-}
-func (w *migratoryWL) Check(wd *World) error {
-	var sum uint64
-	for i := 0; i < w.slots; i++ {
-		sum += wd.Mem.ReadWord(w.base + mem.Addr(i*mem.LineSize))
-	}
-	if sum != uint64(16*w.iters) {
-		return fmt.Errorf("sum = %d, want %d", sum, 16*w.iters)
-	}
-	return nil
-}
-
-func runWL(t *testing.T, kind core.Kind, w Workload, cfg Config) RunStats {
-	t.Helper()
-	policy, err := core.New(kind)
-	if err != nil {
-		t.Fatal(err)
-	}
-	m, err := New(cfg, policy)
-	if err != nil {
-		t.Fatal(err)
-	}
-	stats, err := m.Run(w)
-	if err != nil {
-		t.Fatalf("%s: %v", kind, err)
-	}
-	return stats
-}
-
-func testCfg() Config {
-	cfg := DefaultConfig()
-	cfg.CycleLimit = 50_000_000
-	return cfg
-}
 
 func TestCounterAllSystems(t *testing.T) {
 	for _, kind := range core.Kinds() {
 		kind := kind
 		t.Run(string(kind), func(t *testing.T) {
-			stats := runWL(t, kind, &counterWL{iters: 30}, testCfg())
+			stats := testutil.Run(t, kind, &testutil.Counter{Iters: 30}, testutil.Config())
 			if stats.Commits == 0 {
 				t.Fatal("no commits recorded")
 			}
@@ -163,7 +29,7 @@ func TestBankAllSystems(t *testing.T) {
 	for _, kind := range core.Kinds() {
 		kind := kind
 		t.Run(string(kind), func(t *testing.T) {
-			runWL(t, kind, &bankWL{accounts: 24, iters: 40}, testCfg())
+			testutil.Run(t, kind, &testutil.Bank{Accounts: 24, Iters: 40}, testutil.Config())
 		})
 	}
 }
@@ -172,7 +38,7 @@ func TestMigratoryAllSystems(t *testing.T) {
 	for _, kind := range core.Kinds() {
 		kind := kind
 		t.Run(string(kind), func(t *testing.T) {
-			stats := runWL(t, kind, &migratoryWL{slots: 8, iters: 25}, testCfg())
+			stats := testutil.Run(t, kind, &testutil.Migratory{Slots: 8, Iters: 25}, testutil.Config())
 			switch kind {
 			case core.KindCHATS, core.KindPCHATS, core.KindNaiveRS:
 				if stats.SpecRespsSent == 0 {
@@ -188,9 +54,9 @@ func TestMigratoryAllSystems(t *testing.T) {
 }
 
 func TestCHATSForwardingReducesAborts(t *testing.T) {
-	w := func() Workload { return &migratoryWL{slots: 4, iters: 30} }
-	base := runWL(t, core.KindBaseline, w(), testCfg())
-	chats := runWL(t, core.KindCHATS, w(), testCfg())
+	w := func() machine.Workload { return &testutil.Migratory{Slots: 4, Iters: 30} }
+	base := testutil.Run(t, core.KindBaseline, w(), testutil.Config())
+	chats := testutil.Run(t, core.KindCHATS, w(), testutil.Config())
 	if chats.SpecRespsConsumed == 0 {
 		t.Fatal("CHATS consumed no speculative data")
 	}
@@ -205,15 +71,15 @@ func TestCHATSForwardingReducesAborts(t *testing.T) {
 }
 
 func TestDeterminism(t *testing.T) {
-	cfg := testCfg()
+	cfg := testutil.Config()
 	cfg.Seed = 42
-	a := runWL(t, core.KindCHATS, &bankWL{accounts: 16, iters: 30}, cfg)
-	b := runWL(t, core.KindCHATS, &bankWL{accounts: 16, iters: 30}, cfg)
+	a := testutil.Run(t, core.KindCHATS, &testutil.Bank{Accounts: 16, Iters: 30}, cfg)
+	b := testutil.Run(t, core.KindCHATS, &testutil.Bank{Accounts: 16, Iters: 30}, cfg)
 	if a != b {
 		t.Fatalf("same seed diverged:\n%+v\n%+v", a, b)
 	}
 	cfg.Seed = 43
-	c := runWL(t, core.KindCHATS, &bankWL{accounts: 16, iters: 30}, cfg)
+	c := testutil.Run(t, core.KindCHATS, &testutil.Bank{Accounts: 16, Iters: 30}, cfg)
 	if a.Cycles == c.Cycles && a.Aborts == c.Aborts && a.Flits == c.Flits {
 		t.Log("warning: different seeds produced identical stats (possible but suspicious)")
 	}
@@ -223,12 +89,7 @@ func TestFallbackLockEngages(t *testing.T) {
 	// One retry only: heavy contention must hit the fallback path, and
 	// the result must still be correct.
 	policy := core.NewBaselineWith(htm.Traits{Retries: 1})
-	m, err := New(testCfg(), policy)
-	if err != nil {
-		t.Fatal(err)
-	}
-	w := &counterWL{iters: 25}
-	stats, err := m.Run(w)
+	stats, err := testutil.RunPolicy(policy, &testutil.Counter{Iters: 25}, testutil.Config())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,14 +102,14 @@ func TestFallbackLockEngages(t *testing.T) {
 }
 
 func TestPowerTokenEngages(t *testing.T) {
-	stats := runWL(t, core.KindPower, &counterWL{iters: 25}, testCfg())
+	stats := testutil.Run(t, core.KindPower, &testutil.Counter{Iters: 25}, testutil.Config())
 	if stats.PowerAcqs == 0 {
 		t.Fatal("power token never acquired under contention")
 	}
 }
 
 func TestAbortCausesRecorded(t *testing.T) {
-	stats := runWL(t, core.KindBaseline, &counterWL{iters: 25}, testCfg())
+	stats := testutil.Run(t, core.KindBaseline, &testutil.Counter{Iters: 25}, testutil.Config())
 	if stats.Aborts == 0 {
 		t.Fatal("contended counter produced no aborts")
 	}
@@ -262,7 +123,7 @@ func TestAbortCausesRecorded(t *testing.T) {
 }
 
 func TestFig6Accounting(t *testing.T) {
-	stats := runWL(t, core.KindCHATS, &migratoryWL{slots: 4, iters: 25}, testCfg())
+	stats := testutil.Run(t, core.KindCHATS, &testutil.Migratory{Slots: 4, Iters: 25}, testutil.Config())
 	executed := stats.Commits + stats.Aborts
 	if stats.ConflictedCommitted+stats.ConflictedAborted > executed {
 		t.Fatal("conflicted counts exceed executed transactions")
@@ -275,29 +136,28 @@ func TestFig6Accounting(t *testing.T) {
 // Single-threaded sanity: a run with zero contention must never abort.
 type soloWL struct {
 	addr mem.Addr
-	tid0 int
 }
 
 func (w *soloWL) Name() string { return "solo" }
-func (w *soloWL) Setup(wd *World, threads int) {
+func (w *soloWL) Setup(wd *machine.World, threads int) {
 	w.addr = wd.Alloc.Lines(64)
 }
-func (w *soloWL) Thread(ctx Ctx, tid int) {
+func (w *soloWL) Thread(ctx machine.Ctx, tid int) {
 	if tid != 0 {
 		return // only thread 0 works
 	}
 	for i := 0; i < 50; i++ {
-		ctx.Atomic(func(tx Tx) {
+		ctx.Atomic(func(tx machine.Tx) {
 			a := w.addr + mem.Addr((i%64)*mem.LineSize)
 			tx.Store(a, tx.Load(a)+uint64(i))
 		})
 	}
 }
-func (w *soloWL) Check(wd *World) error { return nil }
+func (w *soloWL) Check(wd *machine.World) error { return nil }
 
 func TestSoloNoAborts(t *testing.T) {
 	for _, kind := range core.Kinds() {
-		stats := runWL(t, kind, &soloWL{}, testCfg())
+		stats := testutil.Run(t, kind, &soloWL{}, testutil.Config())
 		if stats.Aborts != 0 {
 			t.Errorf("%s: %d aborts with a single thread", kind, stats.Aborts)
 		}
@@ -308,15 +168,10 @@ func TestSoloNoAborts(t *testing.T) {
 }
 
 func TestCycleLimitErrors(t *testing.T) {
-	cfg := testCfg()
+	cfg := testutil.Config()
 	cfg.CycleLimit = 2000 // absurdly small
-	policy, _ := core.New(core.KindCHATS)
-	m, err := New(cfg, policy)
-	if err != nil {
-		t.Fatal(err)
-	}
-	_, err = m.Run(&counterWL{iters: 100})
-	if err == nil {
+	policy := testutil.Policy(t, core.KindCHATS)
+	if _, err := testutil.RunPolicy(policy, &testutil.Counter{Iters: 100}, cfg); err == nil {
 		t.Fatal("expected cycle-limit error")
 	}
 }

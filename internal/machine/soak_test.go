@@ -1,10 +1,12 @@
-package machine
+package machine_test
 
 import (
 	"testing"
 
 	"chats/internal/core"
 	"chats/internal/faults"
+	"chats/internal/machine"
+	"chats/internal/testutil"
 )
 
 // TestSoakAllSystems runs the contended bank workload across several
@@ -20,9 +22,9 @@ func TestSoakAllSystems(t *testing.T) {
 			seed, kind := seed, kind
 			t.Run(string(kind), func(t *testing.T) {
 				t.Parallel()
-				cfg := testCfg()
+				cfg := testutil.Config()
 				cfg.Seed = seed
-				runWL(t, kind, &bankWL{accounts: 12, iters: 60}, cfg)
+				testutil.Run(t, kind, &testutil.Bank{Accounts: 12, Iters: 60}, cfg)
 			})
 		}
 	}
@@ -35,17 +37,17 @@ func TestSoakMixedPatterns(t *testing.T) {
 	if testing.Short() {
 		t.Skip("soak test skipped in -short mode")
 	}
-	mks := []func() Workload{
-		func() Workload { return &counterWL{iters: 40} },
-		func() Workload { return &migratoryWL{slots: 6, iters: 40} },
-		func() Workload { return &bankWL{accounts: 48, iters: 50} },
+	mks := []func() machine.Workload{
+		func() machine.Workload { return &testutil.Counter{Iters: 40} },
+		func() machine.Workload { return &testutil.Migratory{Slots: 6, Iters: 40} },
+		func() machine.Workload { return &testutil.Bank{Accounts: 48, Iters: 50} },
 	}
 	for _, kind := range core.Kinds() {
 		kind := kind
 		t.Run(string(kind), func(t *testing.T) {
 			t.Parallel()
 			for _, mk := range mks {
-				runWL(t, kind, mk(), testCfg())
+				testutil.Run(t, kind, mk(), testutil.Config())
 			}
 		})
 	}
@@ -61,11 +63,11 @@ func TestSoakSmallCache(t *testing.T) {
 		kind := kind
 		t.Run(string(kind), func(t *testing.T) {
 			t.Parallel()
-			cfg := testCfg()
+			cfg := testutil.Config()
 			cfg.L1Size = 4 * 1024 // 4 KiB, 64 lines
 			cfg.L1Ways = 4
-			runWL(t, kind, &bankWL{accounts: 64, iters: 50}, cfg)
-			runWL(t, kind, &migratoryWL{slots: 8, iters: 30}, cfg)
+			testutil.Run(t, kind, &testutil.Bank{Accounts: 64, Iters: 50}, cfg)
+			testutil.Run(t, kind, &testutil.Migratory{Slots: 8, Iters: 30}, cfg)
 		})
 	}
 }
@@ -87,15 +89,15 @@ func TestSoakUnderFaults(t *testing.T) {
 		t.Run(string(kind), func(t *testing.T) {
 			t.Parallel()
 			for seed := uint64(1); seed <= 3; seed++ {
-				cfg := testCfg()
+				cfg := testutil.Config()
 				cfg.Seed = seed
 				cfg.Faults = &plan
 				cfg.WatchdogCycles = 5_000_000
-				st := runWL(t, kind, &bankWL{accounts: 12, iters: 40}, cfg)
+				st := testutil.Run(t, kind, &testutil.Bank{Accounts: 12, Iters: 40}, cfg)
 				if st.FaultsInjected == 0 {
 					t.Fatalf("seed %d: no faults injected", seed)
 				}
-				runWL(t, kind, &migratoryWL{slots: 6, iters: 30}, cfg)
+				testutil.Run(t, kind, &testutil.Migratory{Slots: 6, Iters: 30}, cfg)
 			}
 		})
 	}

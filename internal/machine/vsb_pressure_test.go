@@ -1,0 +1,106 @@
+package machine_test
+
+import (
+	"testing"
+
+	"chats/internal/core"
+	"chats/internal/faults"
+	"chats/internal/htm"
+	"chats/internal/testutil"
+)
+
+// chatsWith builds a CHATS variant with explicit traits on top of the
+// Table II defaults.
+func chatsTraits() htm.Traits {
+	return core.NewCHATS().Traits()
+}
+
+// A one-entry VSB under a multi-line transactional mix must hit the
+// buffer-full path: SpecResps get dropped (SpecDropVSB) and the access
+// retries non-speculatively, but the run stays correct (workload Check)
+// and the machine still forwards what fits.
+func TestVSBFullForcesDrops(t *testing.T) {
+	tr := chatsTraits()
+	tr.VSBSize = 1
+	stats, err := testutil.RunPolicy(core.NewCHATSWith(tr),
+		&testutil.Bank{Accounts: 8, Iters: 50}, testutil.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SpecRespsConsumed == 0 {
+		t.Fatal("one-entry VSB consumed nothing — pressure test is vacuous")
+	}
+	if stats.SpecDropVSB == 0 {
+		t.Fatal("no SpecResp was ever dropped with a one-entry VSB under a two-line workload")
+	}
+	// The drops must be real capacity rejections, not consumer deaths.
+	t.Logf("consumed %d, dropped (VSB full) %d, dropped (stale) %d",
+		stats.SpecRespsConsumed, stats.SpecDropVSB, stats.SpecDropStale)
+}
+
+// With the default four-entry VSB the same workload fits: capacity
+// drops should vanish (or nearly so) while consumption persists —
+// the paired observation that makes TestVSBFullForcesDrops meaningful.
+func TestVSBDefaultAbsorbsSameLoad(t *testing.T) {
+	small := chatsTraits()
+	small.VSBSize = 1
+	tiny, err := testutil.RunPolicy(core.NewCHATSWith(small),
+		&testutil.Bank{Accounts: 8, Iters: 50}, testutil.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := testutil.RunPolicy(core.NewCHATS(),
+		&testutil.Bank{Accounts: 8, Iters: 50}, testutil.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.SpecDropVSB >= tiny.SpecDropVSB && tiny.SpecDropVSB > 0 {
+		t.Fatalf("default VSB dropped as much as the one-entry VSB (%d vs %d)",
+			full.SpecDropVSB, tiny.SpecDropVSB)
+	}
+}
+
+// Commit is blocked until every fiction resolves: a consuming
+// transaction must validate each buffered line with real permissions
+// before committing. With the invariant checker attached (it replays
+// every commit against coherent memory), a clean forwarding-heavy run
+// proves validations happened and none were skipped.
+func TestCommitWaitsForValidation(t *testing.T) {
+	stats, counts := testutil.RunChecked(t, core.KindCHATS,
+		&testutil.Migratory{Slots: 4, Iters: 40}, testutil.Config())
+	if stats.SpecRespsConsumed == 0 {
+		t.Fatal("nothing was forwarded — validation path not exercised")
+	}
+	if stats.Validations == 0 || stats.ValidationsOK == 0 {
+		t.Fatalf("consumed %d speculative lines with %d validations (%d ok)",
+			stats.SpecRespsConsumed, stats.Validations, stats.ValidationsOK)
+	}
+	if stats.ValidationsOK > stats.Validations {
+		t.Fatalf("validation accounting inverted: %d ok > %d total",
+			stats.ValidationsOK, stats.Validations)
+	}
+	if counts.TxReplays == 0 || counts.LinesDiffed == 0 {
+		t.Fatalf("invariant checker did no work: %+v", counts)
+	}
+}
+
+// Forwarded-then-modified: spurious producer aborts strand stale copies
+// in consumer VSBs, so value-based validation must fail and abort the
+// consumer (CauseValidation) rather than let it commit fictions. The
+// invariant checker confirms every surviving commit was serializable.
+func TestForwardedThenModifiedFailsValidation(t *testing.T) {
+	plan, err := faults.Parse("spurious:p=0.05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testutil.Config()
+	cfg.Faults = &plan
+	stats, _ := testutil.RunChecked(t, core.KindCHATS,
+		&testutil.Migratory{Slots: 4, Iters: 40}, cfg)
+	if stats.FaultsInjected == 0 {
+		t.Fatal("no spurious aborts injected")
+	}
+	if stats.ByCause[htm.CauseValidation] == 0 {
+		t.Fatal("stale forwarded data never failed validation under spurious producer aborts")
+	}
+}

@@ -1,0 +1,137 @@
+package randprog
+
+import "chats/internal/sim"
+
+// GenConfig tunes the program generator. The zero value is not useful;
+// start from a Preset.
+type GenConfig struct {
+	Cores int // participating cores
+	Pool  int // shared slots
+	Pack  int // slots per cache line (false-sharing stress when > 1)
+	Priv  int // private slots per core
+
+	Blocks    int     // atomic blocks per core
+	OpsMax    int     // max transactional ops per non-motif block (>= 1)
+	HotSlots  int     // size of the hot subset (contention skew target)
+	HotFrac   float64 // probability a shared access hits the hot subset
+	WriteFrac float64 // probability a tx op is a write (rest are loads)
+	AddFrac   float64 // among writes: probability of OpAdd vs OpStore.
+	// AddFrac 1.0 generates commutative programs (self-checking against
+	// the serial oracle on every system, no commit-order witness needed).
+	ChainFrac float64 // probability a block is the chain motif below
+	NonTxFrac float64 // probability of a non-tx action between blocks
+	WorkMax   int     // max cycles for work ops (>= 1)
+}
+
+// Preset returns the generator configuration for a size level
+// (0 = tiny, 1 = small, 2+ = medium), mirroring workloads.Size. The
+// presets are commutative (AddFrac 1) so the generated family is
+// self-checking on any system; the fuzz driver flips AddFrac down to
+// also exercise order-sensitive stores under the difftest oracle.
+func Preset(level int) GenConfig {
+	g := GenConfig{
+		Cores:     4,
+		Pool:      6,
+		Pack:      2,
+		Priv:      2,
+		Blocks:    4,
+		OpsMax:    4,
+		HotSlots:  2,
+		HotFrac:   0.7,
+		WriteFrac: 0.5,
+		AddFrac:   1.0,
+		ChainFrac: 0.3,
+		NonTxFrac: 0.3,
+		WorkMax:   40,
+	}
+	switch {
+	case level <= 0:
+	case level == 1:
+		g.Cores, g.Pool, g.Blocks = 8, 12, 8
+	default:
+		g.Cores, g.Pool, g.Blocks = 16, 24, 16
+	}
+	return g
+}
+
+// Generate builds a deterministic random program from the seed. Same
+// seed and config always produce the identical program.
+func Generate(seed uint64, g GenConfig) *Program {
+	r := sim.NewRand(seed*0x9E3779B97F4A7C15 + 0xD1B54A32D192ED03)
+	if g.OpsMax < 1 {
+		g.OpsMax = 1
+	}
+	if g.WorkMax < 1 {
+		g.WorkMax = 1
+	}
+	if g.HotSlots < 1 {
+		g.HotSlots = 1
+	}
+	if g.HotSlots > g.Pool {
+		g.HotSlots = g.Pool
+	}
+	p := &Program{Cores: g.Cores, Pool: g.Pool, Pack: g.Pack, Priv: g.Priv}
+	p.Seq = make([][]Action, g.Cores)
+
+	slot := func() int {
+		if r.Float64() < g.HotFrac {
+			return r.Intn(g.HotSlots)
+		}
+		return r.Intn(g.Pool)
+	}
+	writeOp := func(s int) Op {
+		salt := uint64(1 + r.Intn(9))
+		if r.Float64() < g.AddFrac {
+			return Op{Kind: OpAdd, Slot: s, Arg: salt}
+		}
+		return Op{Kind: OpStore, Slot: s, Arg: salt}
+	}
+
+	for c := 0; c < g.Cores; c++ {
+		for b := 0; b < g.Blocks; b++ {
+			if r.Float64() < g.NonTxFrac {
+				p.Seq[c] = append(p.Seq[c], nonTxAction(r, g))
+			}
+			var ops []Op
+			if r.Float64() < g.ChainFrac {
+				// Chain motif: read-modify-write a hot slot, keep the line
+				// speculatively modified through a long compute window (the
+				// producer→consumer forwarding opportunity), then modify it
+				// again — the forwarded-then-modified hazard value-based
+				// validation exists to catch.
+				h := r.Intn(g.HotSlots)
+				ops = append(ops, Op{Kind: OpLoad, Slot: h}, writeOp(h),
+					Op{Kind: OpWork, Arg: uint64(20 + r.Intn(4*g.WorkMax))}, writeOp(h))
+			} else {
+				n := 1 + r.Intn(g.OpsMax)
+				for i := 0; i < n; i++ {
+					s := slot()
+					switch {
+					case r.Float64() < g.WriteFrac:
+						ops = append(ops, writeOp(s))
+					case r.Float64() < 0.15:
+						ops = append(ops, Op{Kind: OpWork, Arg: uint64(1 + r.Intn(g.WorkMax))})
+					default:
+						ops = append(ops, Op{Kind: OpLoad, Slot: s})
+					}
+				}
+			}
+			p.Seq[c] = append(p.Seq[c], Action{Kind: ActBlock, Ops: ops})
+		}
+		if r.Float64() < g.NonTxFrac {
+			p.Seq[c] = append(p.Seq[c], nonTxAction(r, g))
+		}
+	}
+	return p
+}
+
+func nonTxAction(r *sim.Rand, g GenConfig) Action {
+	switch {
+	case g.Priv > 0 && r.Float64() < 0.4:
+		return Action{Kind: ActStore, Slot: r.Intn(g.Priv), Arg: uint64(1 + r.Intn(100))}
+	case r.Float64() < 0.5:
+		return Action{Kind: ActLoad, Slot: r.Intn(g.Pool)}
+	default:
+		return Action{Kind: ActWork, Arg: uint64(1 + r.Intn(g.WorkMax))}
+	}
+}

@@ -1,0 +1,206 @@
+// Package testutil holds the machine-level test harness shared by the
+// external test packages (machine_test, invariant_test, workloads_test,
+// difftest, experiments): standard config, build-and-run helpers, and
+// the three canonical contention workloads (RMW hotspot, bank transfer,
+// migratory write-once).
+//
+// Import-cycle rule: testutil imports machine, so only *external* test
+// packages (package foo_test) may use it. Internal test files of the
+// machine package keep their own copies in helpers_test.go.
+package testutil
+
+import (
+	"fmt"
+	"testing"
+
+	"chats/internal/core"
+	"chats/internal/htm"
+	"chats/internal/invariant"
+	"chats/internal/machine"
+	"chats/internal/mem"
+)
+
+// Config is the standard unit-test machine config: defaults plus a
+// 50M-cycle limit so a livelocked run fails fast instead of hanging.
+func Config() machine.Config {
+	cfg := machine.DefaultConfig()
+	cfg.CycleLimit = 50_000_000
+	return cfg
+}
+
+// Policy builds the named system's policy, failing the test on error.
+func Policy(t testing.TB, kind core.Kind) htm.Policy {
+	t.Helper()
+	policy, err := core.New(kind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return policy
+}
+
+// Machine builds a machine, failing the test on error.
+func Machine(t testing.TB, cfg machine.Config, policy htm.Policy) *machine.Machine {
+	t.Helper()
+	m, err := machine.New(cfg, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// Run builds the named system, runs w on it and returns the stats,
+// failing the test on any build, run, or workload-check error.
+func Run(t testing.TB, kind core.Kind, w machine.Workload, cfg machine.Config) machine.RunStats {
+	t.Helper()
+	stats, err := RunPolicy(Policy(t, kind), w, cfg)
+	if err != nil {
+		t.Fatalf("%s: %v", kind, err)
+	}
+	return stats
+}
+
+// RunPolicy runs w under an explicit (possibly wrapped or deliberately
+// broken) policy and returns the run error instead of failing, so
+// negative tests can assert on it.
+func RunPolicy(policy htm.Policy, w machine.Workload, cfg machine.Config) (machine.RunStats, error) {
+	m, err := machine.New(cfg, policy)
+	if err != nil {
+		return machine.RunStats{}, err
+	}
+	return m.Run(w)
+}
+
+// RunChecked runs w on the named system with a fresh invariant checker
+// attached and fails the test on any run error or invariant violation.
+// It returns the stats and the checker's work counters so callers can
+// assert the checker actually exercised its oracles.
+func RunChecked(t testing.TB, kind core.Kind, w machine.Workload, cfg machine.Config) (machine.RunStats, invariant.Counts) {
+	t.Helper()
+	m := Machine(t, cfg, Policy(t, kind))
+	chk := invariant.New()
+	m.SetTracer(chk)
+	stats, err := m.Run(w)
+	if err != nil {
+		t.Fatalf("%s: %v", kind, err)
+	}
+	if err := chk.Err(); err != nil {
+		t.Fatalf("%s: %v", kind, err)
+	}
+	return stats, chk.Counts()
+}
+
+// Counter is the maximal write-write contention workload: every thread
+// atomically increments one shared counter Iters times.
+type Counter struct {
+	Iters   int
+	addr    mem.Addr
+	threads int
+}
+
+func (w *Counter) Name() string { return "counter" }
+func (w *Counter) Setup(wd *machine.World, threads int) {
+	w.addr = wd.Alloc.LineAligned(1)
+	wd.Mem.WriteWord(w.addr, 0)
+	w.threads = threads
+}
+func (w *Counter) Thread(ctx machine.Ctx, tid int) {
+	for i := 0; i < w.Iters; i++ {
+		ctx.Atomic(func(tx machine.Tx) {
+			v := tx.Load(w.addr)
+			tx.Store(w.addr, v+1)
+		})
+		ctx.Work(20)
+	}
+}
+func (w *Counter) Check(wd *machine.World) error {
+	got := wd.Mem.ReadWord(w.addr)
+	want := uint64(w.threads * w.Iters)
+	if got != want {
+		return fmt.Errorf("counter = %d, want %d", got, want)
+	}
+	return nil
+}
+
+// Bank does random transfers between Accounts accounts; the total must
+// be conserved (atomicity + isolation witness).
+type Bank struct {
+	Accounts int
+	Iters    int
+	base     mem.Addr
+	total    uint64
+}
+
+func (w *Bank) Name() string { return "bank" }
+func (w *Bank) Setup(wd *machine.World, threads int) {
+	w.base = wd.Alloc.Lines(w.Accounts)
+	for i := 0; i < w.Accounts; i++ {
+		wd.Mem.WriteWord(w.acct(i), 100)
+	}
+	w.total = uint64(100 * w.Accounts)
+}
+func (w *Bank) acct(i int) mem.Addr { return w.base + mem.Addr(i*mem.LineSize) }
+func (w *Bank) Thread(ctx machine.Ctx, tid int) {
+	r := ctx.Rand()
+	for i := 0; i < w.Iters; i++ {
+		from, to := r.Intn(w.Accounts), r.Intn(w.Accounts)
+		if from == to {
+			continue
+		}
+		ctx.Atomic(func(tx machine.Tx) {
+			fv := tx.Load(w.acct(from))
+			tv := tx.Load(w.acct(to))
+			if fv == 0 {
+				return
+			}
+			tx.Store(w.acct(from), fv-1)
+			tx.Store(w.acct(to), tv+1)
+		})
+	}
+}
+func (w *Bank) Check(wd *machine.World) error {
+	var sum uint64
+	for i := 0; i < w.Accounts; i++ {
+		sum += wd.Mem.ReadWord(w.acct(i))
+	}
+	if sum != w.total {
+		return fmt.Errorf("bank total = %d, want %d", sum, w.total)
+	}
+	return nil
+}
+
+// Migratory read-modify-writes a random shared slot once per
+// transaction with a long post-write window — the write-once migration
+// pattern CHATS exploits by forwarding.
+type Migratory struct {
+	Slots   int
+	Iters   int
+	base    mem.Addr
+	threads int
+}
+
+func (w *Migratory) Name() string { return "migratory" }
+func (w *Migratory) Setup(wd *machine.World, threads int) {
+	w.base = wd.Alloc.Lines(w.Slots)
+	w.threads = threads
+}
+func (w *Migratory) Thread(ctx machine.Ctx, tid int) {
+	r := ctx.Rand()
+	for i := 0; i < w.Iters; i++ {
+		slot := w.base + mem.Addr(r.Intn(w.Slots)*mem.LineSize)
+		ctx.Atomic(func(tx machine.Tx) {
+			v := tx.Load(slot)
+			tx.Store(slot, v+1)
+			tx.Work(80) // post-write window: the block migrates by forwarding
+		})
+	}
+}
+func (w *Migratory) Check(wd *machine.World) error {
+	var sum uint64
+	for i := 0; i < w.Slots; i++ {
+		sum += wd.Mem.ReadWord(w.base + mem.Addr(i*mem.LineSize))
+	}
+	if sum != uint64(w.threads*w.Iters) {
+		return fmt.Errorf("sum = %d, want %d", sum, w.threads*w.Iters)
+	}
+	return nil
+}

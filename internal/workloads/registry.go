@@ -9,6 +9,7 @@ import (
 
 	"chats/internal/machine"
 	"chats/internal/micro"
+	"chats/internal/randprog"
 	"chats/internal/stamp"
 )
 
@@ -94,6 +95,21 @@ var factories = map[string]func(s Size) machine.Workload{
 	"cadd": func(s Size) machine.Workload {
 		return micro.NewCAdd(pick(s, 32, 128, 512), pick(s, 16, 32, 64), pick(s, 4, 12, 32))
 	},
+	// Seeded random transactional programs (the differential-fuzzing
+	// generator, internal/randprog). The presets are commutative
+	// (adds only), so Workload.Check self-verifies the final memory on
+	// any system regardless of commit order. Fixed seeds keep runs
+	// reproducible; the program is generated at Setup with its core
+	// count clamped to the machine's.
+	"randprog": func(s Size) machine.Workload {
+		return randprog.Family("randprog", 1, randprog.Preset(int(s)))
+	},
+	"randprog-chain": func(s Size) machine.Workload {
+		g := randprog.Preset(int(s))
+		g.ChainFrac = 0.6
+		g.HotFrac = 0.8
+		return randprog.Family("randprog-chain", 2, g)
+	},
 }
 
 // STAMPNames are the paper's Fig. 4 benchmarks in presentation order
@@ -105,6 +121,10 @@ func STAMPNames() []string {
 // MicroNames are the synthetic microbenchmarks (excluded from the means,
 // Section VI-C).
 func MicroNames() []string { return []string{"llb-l", "llb-h", "cadd"} }
+
+// RandNames are the seeded random-program families from the
+// differential-fuzzing generator (not part of the paper's figures).
+func RandNames() []string { return []string{"randprog", "randprog-chain"} }
 
 // AllNames returns every benchmark in figure order.
 func AllNames() []string { return append(STAMPNames(), MicroNames()...) }

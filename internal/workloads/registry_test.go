@@ -1,38 +1,38 @@
-package workloads
+package workloads_test
 
 import (
 	"testing"
 
 	"chats/internal/core"
 	"chats/internal/machine"
+	"chats/internal/testutil"
+	"chats/internal/workloads"
 )
 
+// tinyCfg gives the Tiny benchmarks more cycle headroom than the
+// testutil default.
+func tinyCfg() machine.Config {
+	cfg := testutil.Config()
+	cfg.CycleLimit = 200_000_000
+	return cfg
+}
+
 // Every workload must run to completion and pass its own Check on every
-// system at Tiny size — the end-to-end correctness matrix.
+// system at Tiny size — the end-to-end correctness matrix. The random
+// families ride along: their presets are commutative, so Check verifies
+// the full final memory image on every system.
 func TestAllWorkloadsAllSystems(t *testing.T) {
-	for _, name := range AllNames() {
+	names := append(workloads.AllNames(), workloads.RandNames()...)
+	for _, name := range names {
 		for _, kind := range core.Kinds() {
 			name, kind := name, kind
 			t.Run(name+"/"+string(kind), func(t *testing.T) {
 				t.Parallel()
-				w, err := New(name, Tiny)
+				w, err := workloads.New(name, workloads.Tiny)
 				if err != nil {
 					t.Fatal(err)
 				}
-				policy, err := core.New(kind)
-				if err != nil {
-					t.Fatal(err)
-				}
-				cfg := machine.DefaultConfig()
-				cfg.CycleLimit = 200_000_000
-				m, err := machine.New(cfg, policy)
-				if err != nil {
-					t.Fatal(err)
-				}
-				stats, err := m.Run(w)
-				if err != nil {
-					t.Fatal(err)
-				}
+				stats := testutil.Run(t, kind, w, tinyCfg())
 				if stats.Commits == 0 {
 					t.Fatal("no transactions committed")
 				}
@@ -42,47 +42,51 @@ func TestAllWorkloadsAllSystems(t *testing.T) {
 }
 
 func TestRegistryNames(t *testing.T) {
-	if len(AllNames()) != 11 {
-		t.Fatalf("expected 11 benchmarks, got %d", len(AllNames()))
+	if len(workloads.AllNames()) != 11 {
+		t.Fatalf("expected 11 figure benchmarks, got %d", len(workloads.AllNames()))
 	}
-	for _, n := range AllNames() {
-		if _, err := New(n, Tiny); err != nil {
+	if len(workloads.RandNames()) != 2 {
+		t.Fatalf("expected 2 random families, got %d", len(workloads.RandNames()))
+	}
+	all := append(workloads.AllNames(), workloads.RandNames()...)
+	for _, n := range all {
+		if _, err := workloads.New(n, workloads.Tiny); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, err := New("nope", Tiny); err == nil {
+	if _, err := workloads.New("nope", workloads.Tiny); err == nil {
 		t.Fatal("unknown workload accepted")
 	}
-	if len(Names()) != 11 {
-		t.Fatal("Names() size mismatch")
+	if len(workloads.Names()) != len(all) {
+		t.Fatalf("Names() size mismatch: %d registered, %d named", len(workloads.Names()), len(all))
 	}
 	for _, s := range []string{"tiny", "small", "medium"} {
-		sz, err := ParseSize(s)
+		sz, err := workloads.ParseSize(s)
 		if err != nil || sz.String() != s {
 			t.Fatalf("ParseSize(%q) = %v, %v", s, sz, err)
 		}
 	}
-	if _, err := ParseSize("huge"); err == nil {
+	if _, err := workloads.ParseSize("huge"); err == nil {
 		t.Fatal("bad size accepted")
 	}
 }
 
 // Workload results must be deterministic across runs for a fixed seed.
 func TestWorkloadDeterminism(t *testing.T) {
-	run := func() machine.RunStats {
-		w, _ := New("intruder", Tiny)
-		policy, _ := core.New(core.KindCHATS)
-		cfg := machine.DefaultConfig()
-		cfg.CycleLimit = 200_000_000
-		m, _ := machine.New(cfg, policy)
-		stats, err := m.Run(w)
-		if err != nil {
-			t.Fatal(err)
-		}
-		return stats
-	}
-	a, b := run(), run()
-	if a != b {
-		t.Fatalf("nondeterministic run:\n%+v\n%+v", a, b)
+	for _, name := range []string{"intruder", "randprog"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			run := func() machine.RunStats {
+				w, err := workloads.New(name, workloads.Tiny)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return testutil.Run(t, core.KindCHATS, w, tinyCfg())
+			}
+			a, b := run(), run()
+			if a != b {
+				t.Fatalf("nondeterministic run:\n%+v\n%+v", a, b)
+			}
+		})
 	}
 }
