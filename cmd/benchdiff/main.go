@@ -1,0 +1,182 @@
+// Command benchdiff compares two chats-bench/v1 JSON files (written by
+// `chats-experiments -bench-json`) cell by cell: wall clock, heap
+// allocations, and allocations per simulated cycle.
+//
+// Usage:
+//
+//	benchdiff OLD.json NEW.json
+//	benchdiff -max-alloc-regress 10 BENCH_j1.json new.json   # CI gate
+//
+// Because the simulator is deterministic, a SimCycles mismatch between
+// the two files for the same cell means the runs were not bit-identical
+// — benchdiff reports it and exits nonzero regardless of flags.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+
+	"chats/internal/experiments"
+)
+
+func main() {
+	maxRegress := flag.Float64("max-alloc-regress", 0,
+		"fail (exit 1) if any common cell's allocs grew by more than this percentage (0 = report only)")
+	allocSlack := flag.Uint64("alloc-slack", 5000,
+		"absolute alloc headroom per cell before -max-alloc-regress applies (absorbs runtime noise on tiny cells)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchdiff [flags] OLD.json NEW.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	oldRep, err := load(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	newRep, err := load(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+
+	code := diff(os.Stdout, oldRep, newRep, *maxRegress, *allocSlack)
+	os.Exit(code)
+}
+
+func load(path string) (*experiments.BenchReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var rep experiments.BenchReport
+	if err := json.NewDecoder(f).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.Schema != "chats-bench/v1" {
+		return nil, fmt.Errorf("%s: unsupported schema %q (want chats-bench/v1)", path, rep.Schema)
+	}
+	return &rep, nil
+}
+
+// diff prints the per-cell comparison and returns the process exit code.
+func diff(w *os.File, oldRep, newRep *experiments.BenchReport, maxRegress float64, slack uint64) int {
+	oldCells := byName(oldRep.Cells)
+	newCells := byName(newRep.Cells)
+
+	var names []string
+	for n := range oldCells {
+		if _, ok := newCells[n]; ok {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+
+	fmt.Fprintf(w, "%-34s %11s %11s %7s %12s %12s %7s %9s\n",
+		"cell", "old-ms", "new-ms", "speedup", "old-allocs", "new-allocs", "ratio", "allocs/kc")
+	var (
+		wallRatios, allocRatios []float64
+		mismatched, regressed   []string
+	)
+	for _, n := range names {
+		o, nw := oldCells[n], newCells[n]
+		wallR := ratio(float64(o.WallclockNS), float64(nw.WallclockNS))
+		allocR := ratio(float64(o.Allocs), float64(nw.Allocs))
+		perKC := 0.0
+		if nw.SimCycles > 0 {
+			perKC = float64(nw.Allocs) / float64(nw.SimCycles) * 1000
+		}
+		note := ""
+		if o.SimCycles != nw.SimCycles {
+			note = "  !! simcycles differ"
+			mismatched = append(mismatched, n)
+		}
+		if maxRegress > 0 && float64(nw.Allocs) > float64(o.Allocs)*(1+maxRegress/100)+float64(slack) {
+			note += "  !! alloc regression"
+			regressed = append(regressed, n)
+		}
+		fmt.Fprintf(w, "%-34s %11.1f %11.1f %6.2fx %12d %12d %6.2fx %9.2f%s\n",
+			n, float64(o.WallclockNS)/1e6, float64(nw.WallclockNS)/1e6, wallR,
+			o.Allocs, nw.Allocs, allocR, perKC, note)
+		if wallR > 0 {
+			wallRatios = append(wallRatios, wallR)
+		}
+		if allocR > 0 {
+			allocRatios = append(allocRatios, allocR)
+		}
+	}
+	fmt.Fprintf(w, "\ngeomean: %.2fx wall clock, %.2fx allocs (old/new, >1 = new is better) over %d cells\n",
+		geomean(wallRatios), geomean(allocRatios), len(names))
+	fmt.Fprintf(w, "total wall clock: %.1fs -> %.1fs (old -j %d, new -j %d)\n",
+		float64(oldRep.TotalWallclockNS)/1e9, float64(newRep.TotalWallclockNS)/1e9,
+		oldRep.Workers, newRep.Workers)
+
+	reportMissing(w, "only in old", oldCells, newCells)
+	reportMissing(w, "only in new", newCells, oldCells)
+
+	code := 0
+	if len(mismatched) > 0 {
+		fmt.Fprintf(w, "\nFAIL: %d cell(s) changed simcycles — runs are not bit-identical: %v\n",
+			len(mismatched), mismatched)
+		code = 1
+	}
+	if len(regressed) > 0 {
+		fmt.Fprintf(w, "\nFAIL: %d cell(s) exceed the +%.0f%% alloc budget: %v\n",
+			len(regressed), maxRegress, regressed)
+		code = 1
+	}
+	return code
+}
+
+func byName(cells []experiments.CellBench) map[string]experiments.CellBench {
+	m := make(map[string]experiments.CellBench, len(cells))
+	for _, c := range cells {
+		m[c.Cell] = c
+	}
+	return m
+}
+
+// ratio is old/new so that >1 means the new run improved.
+func ratio(old, new float64) float64 {
+	if new == 0 {
+		return 0
+	}
+	return old / new
+}
+
+func geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+func reportMissing(w *os.File, label string, a, b map[string]experiments.CellBench) {
+	var only []string
+	for n := range a {
+		if _, ok := b[n]; !ok {
+			only = append(only, n)
+		}
+	}
+	if len(only) > 0 {
+		sort.Strings(only)
+		fmt.Fprintf(w, "%s: %v\n", label, only)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

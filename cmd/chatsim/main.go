@@ -69,8 +69,16 @@ func main() {
 		dumpConfig  = flag.Bool("dump-config", false, "print Table I and exit")
 		dumpSystems = flag.Bool("dump-systems", false, "print Table II and exit")
 		list        = flag.Bool("list", false, "list benchmarks and systems and exit")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+		memProfile  = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
 
 	cfg := chats.DefaultConfig()
 	cfg.Machine.Seed = *seed

@@ -38,12 +38,20 @@ const (
 	dirE // exclusive at owner (cache side may be E or M)
 )
 
+// queuedReq is one request parked behind a busy line.
+type queuedReq struct {
+	isX  bool
+	line mem.Addr
+	req  ReqInfo
+	resp RespHandler
+}
+
 type dirLine struct {
 	state   dirState
 	owner   int
 	sharers uint64 // bitset
 	busy    bool
-	queue   []func()
+	queue   []queuedReq
 	inLLC   bool
 }
 
@@ -57,6 +65,15 @@ type Directory struct {
 	cfg    Config
 	lines  map[mem.Addr]*dirLine
 	Stats  Stats
+
+	// Free lists for the pooled flow/message objects below. Every
+	// request hop used to capture its state in a fresh closure; the
+	// pools plus sim.Runner dispatch make the whole request path
+	// allocation-free in steady state.
+	freeMsgs []*dirMsg
+	freeFwds []*fwdFlow
+	freeInvC []*invCollect
+	freeInvT []*invTarget
 
 	// ForceNack, when non-nil, is consulted for every transactional
 	// request before it is admitted; returning true bounces the request
@@ -103,6 +120,376 @@ func (d *Directory) accessLatency(l *dirLine) uint64 {
 	return lat
 }
 
+// ---------- pooled messages ----------
+
+// dirMsg ops. Each value is one kind of directory-side event: a response
+// delivery at the requester, a queued-request restart, a post-latency
+// state-transition arm, a probe delivery, or an unblock.
+const (
+	mResp        uint8 = iota // deliver resp at the requester
+	mStart                    // re-issue a queued GetS/GetX
+	mGrantExcl                // serve memory, grant exclusive
+	mGrantShared              // serve memory, add sharer
+	mFwd                      // forward to the exclusive owner
+	mCollect                  // start the invalidation collection
+	mProbe                    // deliver a probe at a core
+	mUnblock                  // release the line (flow-internal cancel paths)
+	mUnblockLine              // requester's Unblock message (by address)
+)
+
+// dirMsg is the one pooled event payload for directory flows that need
+// no per-flow identity; op selects the behavior, the other fields are a
+// union over the ops.
+type dirMsg struct {
+	d    *Directory
+	op   uint8
+	isX  bool
+	core int
+	line mem.Addr
+	l    *dirLine
+	req  ReqInfo
+	h    RespHandler
+	resp Resp
+	p    Probe
+}
+
+func (d *Directory) newMsg() *dirMsg {
+	if n := len(d.freeMsgs); n > 0 {
+		m := d.freeMsgs[n-1]
+		d.freeMsgs[n-1] = nil
+		d.freeMsgs = d.freeMsgs[:n-1]
+		return m
+	}
+	return &dirMsg{d: d}
+}
+
+func (d *Directory) freeMsg(m *dirMsg) {
+	m.h = nil
+	m.l = nil
+	m.p = Probe{}
+	m.resp = Resp{}
+	d.freeMsgs = append(d.freeMsgs, m)
+}
+
+// sendResp schedules a response delivery at the requester over the
+// given message class.
+func (d *Directory) sendResp(data bool, h RespHandler, r Resp) {
+	m := d.newMsg()
+	m.op = mResp
+	m.h = h
+	m.resp = r
+	if data {
+		d.net.SendDataMsg(m)
+	} else {
+		d.net.SendControlMsg(m)
+	}
+}
+
+// sendProbe schedules a probe delivery at a core.
+func (d *Directory) sendProbe(core int, p Probe) {
+	m := d.newMsg()
+	m.op = mProbe
+	m.core = core
+	m.p = p
+	d.net.SendControlMsg(m)
+}
+
+func (m *dirMsg) Run() {
+	d := m.d
+	switch m.op {
+	case mResp:
+		h, r := m.h, m.resp
+		d.freeMsg(m)
+		h.HandleResp(r)
+	case mStart:
+		isX, line, req, h := m.isX, m.line, m.req, m.h
+		d.freeMsg(m)
+		if isX {
+			d.GetX(line, req, h)
+		} else {
+			d.GetS(line, req, h)
+		}
+	case mGrantExcl:
+		line, l, req, h := m.line, m.l, m.req, m.h
+		d.freeMsg(m)
+		data := d.memory.ReadLine(line)
+		l.state = dirE
+		l.owner = req.ID
+		l.sharers = 0
+		d.sendResp(true, h, Resp{Kind: RespData, Data: data, Excl: true})
+	case mGrantShared:
+		line, l, req, h := m.line, m.l, m.req, m.h
+		d.freeMsg(m)
+		data := d.memory.ReadLine(line)
+		l.sharers |= bit(req.ID)
+		d.sendResp(true, h, Resp{Kind: RespData, Data: data, Excl: false})
+	case mFwd:
+		f := d.newFwd()
+		f.line = m.line
+		f.l = m.l
+		f.req = m.req
+		f.h = m.h
+		f.owner = m.core
+		f.isX = m.isX
+		kind := FwdGetS
+		if m.isX {
+			kind = FwdGetX
+		}
+		req := m.req
+		d.freeMsg(m)
+		d.sendProbe(f.owner, Probe{Line: f.line, Kind: kind, Req: req, Reply: f})
+	case mCollect:
+		line, l, req, h := m.line, m.l, m.req, m.h
+		d.freeMsg(m)
+		d.collectInvs(line, l, req, h)
+	case mProbe:
+		core, p := m.core, m.p
+		d.freeMsg(m)
+		d.cores[core].HandleProbe(p)
+	case mUnblock:
+		l := m.l
+		d.freeMsg(m)
+		d.unblock(l)
+	case mUnblockLine:
+		line := m.line
+		d.freeMsg(m)
+		d.Unblock(line)
+	default:
+		panic("coherence: unknown dirMsg op")
+	}
+}
+
+// fwdFlow is the continuation of a request forwarded to an exclusive
+// owner: it is the probe's replier, and — for the reply arms that need a
+// second directory-side hop — its own event payload.
+type fwdFlow struct {
+	d     *Directory
+	line  mem.Addr
+	l     *dirLine
+	req   ReqInfo
+	h     RespHandler
+	owner int
+	isX   bool
+	phase uint8
+	data  mem.Line
+}
+
+const (
+	fwdMemS   uint8 = iota // GetS data reply: refresh memory, go Shared
+	fwdMemX                // GetX data reply: refresh memory, move ownership
+	fwdNoData              // owner dropped the line: serve memory, grant E
+)
+
+func (d *Directory) newFwd() *fwdFlow {
+	if n := len(d.freeFwds); n > 0 {
+		f := d.freeFwds[n-1]
+		d.freeFwds[n-1] = nil
+		d.freeFwds = d.freeFwds[:n-1]
+		return f
+	}
+	return &fwdFlow{d: d}
+}
+
+func (d *Directory) freeFwd(f *fwdFlow) {
+	f.h = nil
+	f.l = nil
+	d.freeFwds = append(d.freeFwds, f)
+}
+
+func (f *fwdFlow) ReplyData(data mem.Line) {
+	d := f.d
+	if f.isX {
+		// Ownership moves; memory refreshed so the (possibly
+		// transactional) new owner can be silently invalidated.
+		d.sendResp(true, f.h, Resp{Kind: RespData, Data: data, Excl: true})
+		f.phase = fwdMemX
+	} else {
+		// Owner keeps a Shared copy; data to requester and to memory.
+		d.sendResp(true, f.h, Resp{Kind: RespData, Data: data, Excl: false})
+		f.phase = fwdMemS
+	}
+	f.data = data
+	d.net.SendDataMsg(f)
+}
+
+func (f *fwdFlow) ReplyNoData() {
+	f.phase = fwdNoData
+	f.d.net.SendControlMsg(f)
+}
+
+func (f *fwdFlow) ReplySpec(data mem.Line, pic PiC) {
+	d := f.d
+	d.Stats.SpecCancels++
+	d.sendResp(true, f.h, Resp{Kind: RespSpec, Data: data, PiC: pic})
+	m := d.newMsg() // cancel at directory
+	m.op = mUnblock
+	m.l = f.l
+	d.net.SendControlMsg(m)
+	d.freeFwd(f)
+}
+
+func (f *fwdFlow) ReplyNack() {
+	d := f.d
+	d.Stats.Nacks++
+	d.sendResp(false, f.h, Resp{Kind: RespNack})
+	m := d.newMsg()
+	m.op = mUnblock
+	m.l = f.l
+	d.net.SendControlMsg(m)
+	d.freeFwd(f)
+}
+
+func (f *fwdFlow) Run() {
+	d := f.d
+	switch f.phase {
+	case fwdMemS:
+		d.memory.WriteLine(f.line, f.data)
+		f.l.state = dirS
+		f.l.sharers = bit(f.owner) | bit(f.req.ID)
+		f.l.owner = -1
+		// requester's Unblock releases the line
+		d.freeFwd(f)
+	case fwdMemX:
+		d.memory.WriteLine(f.line, f.data)
+		f.l.state = dirE
+		f.l.owner = f.req.ID
+		f.l.sharers = 0
+		d.freeFwd(f)
+	case fwdNoData:
+		data := d.memory.ReadLine(f.line)
+		f.l.state = dirE
+		f.l.owner = f.req.ID
+		f.l.sharers = 0
+		h := f.h
+		d.freeFwd(f)
+		d.sendResp(true, h, Resp{Kind: RespData, Data: data, Excl: true})
+	default:
+		panic("coherence: bad fwdFlow phase")
+	}
+}
+
+// invCollect aggregates the outcome of the invalidation probes sent on a
+// GetX against a Shared line.
+type invCollect struct {
+	d       *Directory
+	line    mem.Addr
+	l       *dirLine
+	req     ReqInfo
+	h       RespHandler
+	pending int
+	refused bool
+	nacked  bool
+	minPiC  PiC
+}
+
+func (d *Directory) newInvC() *invCollect {
+	if n := len(d.freeInvC); n > 0 {
+		c := d.freeInvC[n-1]
+		d.freeInvC[n-1] = nil
+		d.freeInvC = d.freeInvC[:n-1]
+		return c
+	}
+	return &invCollect{d: d}
+}
+
+func (d *Directory) freeInvCollect(c *invCollect) {
+	c.h = nil
+	c.l = nil
+	d.freeInvC = append(d.freeInvC, c)
+}
+
+func (c *invCollect) done() {
+	c.pending--
+	if c.pending > 0 {
+		return
+	}
+	d := c.d
+	switch {
+	case c.nacked:
+		d.Stats.Nacks++
+		d.sendResp(false, c.h, Resp{Kind: RespNack})
+		d.unblock(c.l)
+	case c.refused:
+		d.Stats.SpecCancels++
+		data := d.memory.ReadLine(c.line)
+		d.sendResp(true, c.h, Resp{Kind: RespSpec, Data: data, PiC: c.minPiC})
+		d.unblock(c.l)
+	default:
+		data := d.memory.ReadLine(c.line)
+		c.l.state = dirE
+		c.l.owner = c.req.ID
+		c.l.sharers = 0
+		d.sendResp(true, c.h, Resp{Kind: RespData, Data: data, Excl: true})
+		// requester's Unblock releases the line
+	}
+	d.freeInvCollect(c)
+}
+
+// invTarget is one sharer's probe replier and the payload of its ack
+// hop back to the directory.
+type invTarget struct {
+	c      *invCollect
+	target int
+	act    uint8
+	pic    PiC
+}
+
+const (
+	ackInv uint8 = iota // invalidated (or already silently dropped)
+	ackSpec
+	ackNack
+)
+
+func (d *Directory) newInvT(c *invCollect, target int) *invTarget {
+	if n := len(d.freeInvT); n > 0 {
+		t := d.freeInvT[n-1]
+		d.freeInvT[n-1] = nil
+		d.freeInvT = d.freeInvT[:n-1]
+		t.c = c
+		t.target = target
+		return t
+	}
+	return &invTarget{c: c, target: target}
+}
+
+func (t *invTarget) ReplyData(mem.Line) { // invalidated (clean sharer)
+	t.act = ackInv
+	t.c.d.net.SendControlMsg(t)
+}
+
+func (t *invTarget) ReplyNoData() { t.ReplyData(mem.Line{}) } // already silently dropped
+
+func (t *invTarget) ReplySpec(_ mem.Line, pic PiC) {
+	t.act = ackSpec
+	t.pic = pic
+	t.c.d.net.SendControlMsg(t)
+}
+
+func (t *invTarget) ReplyNack() {
+	t.act = ackNack
+	t.c.d.net.SendControlMsg(t)
+}
+
+func (t *invTarget) Run() {
+	c, target, act, pic := t.c, t.target, t.act, t.pic
+	t.c = nil
+	c.d.freeInvT = append(c.d.freeInvT, t)
+	switch act {
+	case ackInv:
+		c.l.sharers &^= bit(target)
+	case ackSpec:
+		c.refused = true
+		if pic < c.minPiC {
+			c.minPiC = pic
+		}
+	case ackNack:
+		c.nacked = true
+	}
+	c.done()
+}
+
+// ---------- request handling ----------
+
 func (d *Directory) unblock(l *dirLine) {
 	if !l.busy {
 		panic("coherence: unblock on non-busy line")
@@ -118,8 +505,15 @@ func (d *Directory) unblock(l *dirLine) {
 func (d *Directory) startNext(l *dirLine) {
 	if !l.busy && len(l.queue) > 0 {
 		next := l.queue[0]
+		l.queue[0] = queuedReq{}
 		l.queue = l.queue[1:]
-		d.eng.Schedule(0, next)
+		m := d.newMsg()
+		m.op = mStart
+		m.isX = next.isX
+		m.line = next.line
+		m.req = next.req
+		m.h = next.resp
+		d.eng.ScheduleRunner(0, m)
 	}
 }
 
@@ -130,22 +524,31 @@ func (d *Directory) Unblock(line mem.Addr) {
 	d.unblock(d.line(line))
 }
 
+// SendUnblock sends the requester's Unblock message for line over the
+// interconnect (control class); the line is released on delivery.
+func (d *Directory) SendUnblock(line mem.Addr) {
+	m := d.newMsg()
+	m.op = mUnblockLine
+	m.line = line
+	d.net.SendControlMsg(m)
+}
+
 func bit(i int) uint64 { return 1 << uint(i) }
 
 // GetS handles a read request from core req.ID. resp is invoked at the
 // requester (network-delayed) with the outcome. On RespData the requester
 // must send Unblock after installing the line; RespSpec and RespNack need
 // no unblock.
-func (d *Directory) GetS(lineAddr mem.Addr, req ReqInfo, resp func(Resp)) {
+func (d *Directory) GetS(lineAddr mem.Addr, req ReqInfo, resp RespHandler) {
 	lineAddr = lineAddr.Line()
 	l := d.line(lineAddr)
 	if l.busy {
-		l.queue = append(l.queue, func() { d.GetS(lineAddr, req, resp) })
+		l.queue = append(l.queue, queuedReq{isX: false, line: lineAddr, req: req, resp: resp})
 		return
 	}
 	if d.ForceNack != nil && req.IsTx && d.ForceNack(req) {
 		d.Stats.Nacks++
-		d.net.SendControl(func() { resp(Resp{Kind: RespNack}) })
+		d.sendResp(false, resp, Resp{Kind: RespNack})
 		d.startNext(l)
 		return
 	}
@@ -153,74 +556,38 @@ func (d *Directory) GetS(lineAddr mem.Addr, req ReqInfo, resp func(Resp)) {
 	l.busy = true
 	lat := d.accessLatency(l)
 
+	m := d.newMsg()
+	m.line = lineAddr
+	m.l = l
+	m.req = req
+	m.h = resp
 	switch {
 	case l.state == dirI, l.state == dirE && l.owner == req.ID:
 		// Cold line, or the owner silently dropped its copy and is
 		// re-requesting: serve memory, grant exclusive.
-		d.eng.Schedule(lat, func() {
-			data := d.memory.ReadLine(lineAddr)
-			l.state = dirE
-			l.owner = req.ID
-			l.sharers = 0
-			d.net.SendData(func() { resp(Resp{Kind: RespData, Data: data, Excl: true}) })
-		})
+		m.op = mGrantExcl
 	case l.state == dirS:
-		d.eng.Schedule(lat, func() {
-			data := d.memory.ReadLine(lineAddr)
-			l.sharers |= bit(req.ID)
-			d.net.SendData(func() { resp(Resp{Kind: RespData, Data: data, Excl: false}) })
-		})
+		m.op = mGrantShared
 	case l.state == dirE:
-		owner := l.owner
 		d.Stats.Forwards++
-		d.eng.Schedule(lat, func() {
-			p := Probe{Line: lineAddr, Kind: FwdGetS, Req: req}
-			p.ReplyData = func(data mem.Line) {
-				// Owner keeps a Shared copy; data to requester and to memory.
-				d.net.SendData(func() { resp(Resp{Kind: RespData, Data: data, Excl: false}) })
-				d.net.SendData(func() {
-					d.memory.WriteLine(lineAddr, data)
-					l.state = dirS
-					l.sharers = bit(owner) | bit(req.ID)
-					l.owner = -1
-					// requester's Unblock releases the line
-				})
-			}
-			p.ReplyNoData = func() {
-				d.net.SendControl(func() {
-					data := d.memory.ReadLine(lineAddr)
-					l.state = dirE
-					l.owner = req.ID
-					l.sharers = 0
-					d.net.SendData(func() { resp(Resp{Kind: RespData, Data: data, Excl: true}) })
-				})
-			}
-			p.ReplySpec = func(data mem.Line, pic PiC) {
-				d.Stats.SpecCancels++
-				d.net.SendData(func() { resp(Resp{Kind: RespSpec, Data: data, PiC: pic}) })
-				d.net.SendControl(func() { d.unblock(l) }) // cancel at directory
-			}
-			p.ReplyNack = func() {
-				d.Stats.Nacks++
-				d.net.SendControl(func() { resp(Resp{Kind: RespNack}) })
-				d.net.SendControl(func() { d.unblock(l) })
-			}
-			d.net.SendControl(func() { d.cores[owner].HandleProbe(p) })
-		})
+		m.op = mFwd
+		m.isX = false
+		m.core = l.owner
 	}
+	d.eng.ScheduleRunner(lat, m)
 }
 
 // GetX handles a write (or upgrade) request from core req.ID.
-func (d *Directory) GetX(lineAddr mem.Addr, req ReqInfo, resp func(Resp)) {
+func (d *Directory) GetX(lineAddr mem.Addr, req ReqInfo, resp RespHandler) {
 	lineAddr = lineAddr.Line()
 	l := d.line(lineAddr)
 	if l.busy {
-		l.queue = append(l.queue, func() { d.GetX(lineAddr, req, resp) })
+		l.queue = append(l.queue, queuedReq{isX: true, line: lineAddr, req: req, resp: resp})
 		return
 	}
 	if d.ForceNack != nil && req.IsTx && d.ForceNack(req) {
 		d.Stats.Nacks++
-		d.net.SendControl(func() { resp(Resp{Kind: RespNack}) })
+		d.sendResp(false, resp, Resp{Kind: RespNack})
 		d.startNext(l)
 		return
 	}
@@ -228,129 +595,58 @@ func (d *Directory) GetX(lineAddr mem.Addr, req ReqInfo, resp func(Resp)) {
 	l.busy = true
 	lat := d.accessLatency(l)
 
+	m := d.newMsg()
+	m.line = lineAddr
+	m.l = l
+	m.req = req
+	m.h = resp
 	switch {
 	case l.state == dirI, l.state == dirE && l.owner == req.ID,
 		l.state == dirS && l.sharers&^bit(req.ID) == 0:
 		// Free line, silent-drop re-request, or upgrade with no other
 		// sharer: grant from memory.
-		d.eng.Schedule(lat, func() {
-			data := d.memory.ReadLine(lineAddr)
-			l.state = dirE
-			l.owner = req.ID
-			l.sharers = 0
-			d.net.SendData(func() { resp(Resp{Kind: RespData, Data: data, Excl: true}) })
-		})
+		m.op = mGrantExcl
 	case l.state == dirE:
-		owner := l.owner
 		d.Stats.Forwards++
-		d.eng.Schedule(lat, func() {
-			p := Probe{Line: lineAddr, Kind: FwdGetX, Req: req}
-			p.ReplyData = func(data mem.Line) {
-				// Ownership moves; memory refreshed so the (possibly
-				// transactional) new owner can be silently invalidated.
-				d.net.SendData(func() { resp(Resp{Kind: RespData, Data: data, Excl: true}) })
-				d.net.SendData(func() {
-					d.memory.WriteLine(lineAddr, data)
-					l.state = dirE
-					l.owner = req.ID
-					l.sharers = 0
-				})
-			}
-			p.ReplyNoData = func() {
-				d.net.SendControl(func() {
-					data := d.memory.ReadLine(lineAddr)
-					l.state = dirE
-					l.owner = req.ID
-					l.sharers = 0
-					d.net.SendData(func() { resp(Resp{Kind: RespData, Data: data, Excl: true}) })
-				})
-			}
-			p.ReplySpec = func(data mem.Line, pic PiC) {
-				d.Stats.SpecCancels++
-				d.net.SendData(func() { resp(Resp{Kind: RespSpec, Data: data, PiC: pic}) })
-				d.net.SendControl(func() { d.unblock(l) })
-			}
-			p.ReplyNack = func() {
-				d.Stats.Nacks++
-				d.net.SendControl(func() { resp(Resp{Kind: RespNack}) })
-				d.net.SendControl(func() { d.unblock(l) })
-			}
-			d.net.SendControl(func() { d.cores[owner].HandleProbe(p) })
-		})
+		m.op = mFwd
+		m.isX = true
+		m.core = l.owner
 	case l.state == dirS:
-		d.eng.Schedule(lat, func() { d.collectInvs(lineAddr, l, req, resp) })
+		m.op = mCollect
 	}
+	d.eng.ScheduleRunner(lat, m)
 }
 
 // collectInvs sends invalidation probes to every sharer except the
 // requester and aggregates the outcome: all invalidated → exclusive
 // grant; any refusal (speculative forwarding by a reader) → SpecResp with
 // the committed data and the minimum producer PiC; any nack → RespNack.
-func (d *Directory) collectInvs(lineAddr mem.Addr, l *dirLine, req ReqInfo, resp func(Resp)) {
-	targets := []int{}
+func (d *Directory) collectInvs(lineAddr mem.Addr, l *dirLine, req ReqInfo, resp RespHandler) {
+	count := 0
 	for i := range d.cores {
 		if l.sharers&bit(i) != 0 && i != req.ID {
-			targets = append(targets, i)
+			count++
 		}
 	}
-	if len(targets) == 0 {
+	if count == 0 {
 		panic("coherence: collectInvs with no targets")
 	}
-	pending := len(targets)
-	refused := false
-	nacked := false
-	minPiC := PiC(127)
-	done := func() {
-		pending--
-		if pending > 0 {
-			return
+	c := d.newInvC()
+	c.line = lineAddr
+	c.l = l
+	c.req = req
+	c.h = resp
+	c.pending = count
+	c.refused = false
+	c.nacked = false
+	c.minPiC = PiC(127)
+	for i := range d.cores {
+		if l.sharers&bit(i) == 0 || i == req.ID {
+			continue
 		}
-		switch {
-		case nacked:
-			d.Stats.Nacks++
-			d.net.SendControl(func() { resp(Resp{Kind: RespNack}) })
-			d.unblock(l)
-		case refused:
-			d.Stats.SpecCancels++
-			data := d.memory.ReadLine(lineAddr)
-			d.net.SendData(func() { resp(Resp{Kind: RespSpec, Data: data, PiC: minPiC}) })
-			d.unblock(l)
-		default:
-			data := d.memory.ReadLine(lineAddr)
-			l.state = dirE
-			l.owner = req.ID
-			l.sharers = 0
-			d.net.SendData(func() { resp(Resp{Kind: RespData, Data: data, Excl: true}) })
-			// requester's Unblock releases the line
-		}
-	}
-	for _, t := range targets {
-		t := t
 		d.Stats.Invs++
-		p := Probe{Line: lineAddr, Kind: InvProbe, Req: req}
-		p.ReplyData = func(mem.Line) { // invalidated (clean sharer)
-			d.net.SendControl(func() {
-				l.sharers &^= bit(t)
-				done()
-			})
-		}
-		p.ReplyNoData = func() { p.ReplyData(mem.Line{}) } // already silently dropped
-		p.ReplySpec = func(_ mem.Line, pic PiC) {
-			d.net.SendControl(func() {
-				refused = true
-				if pic < minPiC {
-					minPiC = pic
-				}
-				done()
-			})
-		}
-		p.ReplyNack = func() {
-			d.net.SendControl(func() {
-				nacked = true
-				done()
-			})
-		}
-		d.net.SendControl(func() { d.cores[t].HandleProbe(p) })
+		t := d.newInvT(c, i)
+		d.sendProbe(i, Probe{Line: lineAddr, Kind: InvProbe, Req: req, Reply: t})
 	}
 }
 

@@ -49,12 +49,12 @@ func newRig(n int) *rig {
 func (r *rig) request(t *testing.T, isX bool, line mem.Addr, id int) Resp {
 	t.Helper()
 	var got *Resp
-	handler := func(resp Resp) {
+	handler := RespFunc(func(resp Resp) {
 		got = &resp
 		if resp.Kind == RespData {
 			r.net.SendControl(func() { r.dir.Unblock(line) })
 		}
-	}
+	})
 	req := ReqInfo{ID: id}
 	if isX {
 		r.net.SendControl(func() { r.dir.GetX(line, req, handler) })
@@ -293,7 +293,7 @@ func TestBusyLineQueuesRequests(t *testing.T) {
 	var pending Probe
 	r.cores[0].onProbe = func(p Probe) { pending = p }
 	order := []int{}
-	mk := func(id int) func(Resp) {
+	mk := func(id int) RespFunc {
 		return func(resp Resp) {
 			order = append(order, id)
 			if resp.Kind == RespData {

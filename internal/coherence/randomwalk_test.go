@@ -105,7 +105,7 @@ func runDirectoryRandomWalk(t *testing.T, faulty bool) {
 			isX := rnd.Intn(2) == 0
 			mc := models[id]
 			pending++
-			handler := func(resp Resp) {
+			handler := RespFunc(func(resp Resp) {
 				pending--
 				switch resp.Kind {
 				case RespData:
@@ -116,7 +116,7 @@ func runDirectoryRandomWalk(t *testing.T, faulty bool) {
 					// fiction: do not record ownership
 				case RespNack:
 				}
-			}
+			})
 			req := ReqInfo{ID: id, IsTx: true}
 			if isX {
 				r.net.SendControl(func() { r.dir.GetX(line, req, handler) })

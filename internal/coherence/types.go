@@ -72,32 +72,48 @@ func (k ProbeKind) String() string {
 	return "Probe?"
 }
 
+// ProbeReplier is the directory-side continuation of a probe: the flow
+// object that knows how to route the core's answer. Pooled per-flow
+// structs implement it so probes carry no closures.
+type ProbeReplier interface {
+	// ReplyData services the request normally: the line (and, for
+	// FwdGetX, ownership) moves to the requester and the memory image is
+	// refreshed. For InvProbe the data argument is ignored (the directory
+	// supplies memory data) and this means "invalidated, no conflict".
+	ReplyData(data mem.Line)
+	// ReplyNoData tells the directory the core no longer holds the line
+	// (silent invalidation already happened); the directory serves the
+	// committed copy from the memory image.
+	ReplyNoData()
+	// ReplySpec answers the requester with speculative data while
+	// retaining ownership; the request is cancelled at the directory and
+	// coherence state is left unchanged. pic is the producer's PiC after
+	// any update mandated by the CHATS rules.
+	ReplySpec(data mem.Line, pic PiC)
+	// ReplyNack refuses the request without data; the requester will
+	// retry. Coherence state is unchanged.
+	ReplyNack()
+}
+
 // Probe is delivered to a core when the directory needs its copy of a
-// line. The core must call exactly one of the reply functions; each
+// line. The core must call exactly one of the reply methods; each
 // already accounts for the response messages and directory bookkeeping.
 type Probe struct {
 	Line mem.Addr
 	Kind ProbeKind
 	Req  ReqInfo
 
-	// ReplyData services the request normally: the line (and, for
-	// FwdGetX, ownership) moves to the requester and the memory image is
-	// refreshed. For InvProbe the data argument is ignored (the directory
-	// supplies memory data) and this means "invalidated, no conflict".
-	ReplyData func(data mem.Line)
-	// ReplyNoData tells the directory the core no longer holds the line
-	// (silent invalidation already happened); the directory serves the
-	// committed copy from the memory image.
-	ReplyNoData func()
-	// ReplySpec answers the requester with speculative data while
-	// retaining ownership; the request is cancelled at the directory and
-	// coherence state is left unchanged. pic is the producer's PiC after
-	// any update mandated by the CHATS rules.
-	ReplySpec func(data mem.Line, pic PiC)
-	// ReplyNack refuses the request without data; the requester will
-	// retry. Coherence state is unchanged.
-	ReplyNack func()
+	// Reply is the directory flow awaiting this probe's answer.
+	Reply ProbeReplier
 }
+
+// The reply methods delegate to the flow object, keeping the core-side
+// call syntax independent of the dispatch plumbing.
+
+func (p Probe) ReplyData(data mem.Line)          { p.Reply.ReplyData(data) }
+func (p Probe) ReplyNoData()                     { p.Reply.ReplyNoData() }
+func (p Probe) ReplySpec(data mem.Line, pic PiC) { p.Reply.ReplySpec(data, pic) }
+func (p Probe) ReplyNack()                       { p.Reply.ReplyNack() }
 
 // RespKind tags the response a requester receives for GetS/GetX.
 type RespKind uint8
@@ -122,6 +138,19 @@ type Resp struct {
 	Excl bool // RespData on GetS: exclusive (E) grant
 	PiC  PiC  // RespSpec: producer's PiC
 }
+
+// RespHandler receives the response to a GetS/GetX at the requester.
+// The machine's pooled access structs implement it directly; tests use
+// the RespFunc adapter.
+type RespHandler interface {
+	HandleResp(r Resp)
+}
+
+// RespFunc adapts a plain function to RespHandler.
+type RespFunc func(Resp)
+
+// HandleResp invokes the function.
+func (f RespFunc) HandleResp(r Resp) { f(r) }
 
 // Core is the directory's view of an L1 cache controller.
 type Core interface {

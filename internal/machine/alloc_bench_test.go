@@ -1,0 +1,59 @@
+package machine
+
+import (
+	"runtime"
+	"testing"
+
+	"chats/internal/core"
+)
+
+// Whole-machine allocation benchmarks: the event path from thread op
+// through network, directory and back must be allocation-free in steady
+// state (pooled message structs + the engine's event free list), so
+// allocs per simulated cycle is the end-to-end regression signal for
+// the dispatch layer. Run as:
+//
+//	go test -bench WholeMachine -benchmem ./internal/machine
+func benchMachine(b *testing.B, kind core.Kind) {
+	b.Helper()
+	policy, err := core.New(kind)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.CycleLimit = 50_000_000
+	b.ReportAllocs()
+	var cycles, mallocs uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		m, err := New(cfg, policy)
+		if err != nil {
+			b.Fatal(err)
+		}
+		w := &counterWL{iters: 50}
+		var ms0, ms1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&ms0)
+		b.StartTimer()
+		stats, err := m.Run(w)
+		b.StopTimer()
+		if err != nil {
+			b.Fatal(err)
+		}
+		runtime.ReadMemStats(&ms1)
+		cycles += stats.Cycles
+		mallocs += ms1.Mallocs - ms0.Mallocs
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(mallocs)/float64(cycles), "allocs/simcycle")
+	b.ReportMetric(float64(cycles)/float64(b.N), "simcycles/run")
+}
+
+// BenchmarkWholeMachineCHATS runs the contended-counter workload on the
+// CHATS system: forwarding, validation and chain bookkeeping all active.
+func BenchmarkWholeMachineCHATS(b *testing.B) { benchMachine(b, core.KindCHATS) }
+
+// BenchmarkWholeMachineBaseline runs the same workload on the baseline
+// requester-wins system.
+func BenchmarkWholeMachineBaseline(b *testing.B) { benchMachine(b, core.KindBaseline) }

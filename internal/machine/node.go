@@ -8,11 +8,42 @@ import (
 	"chats/internal/sim"
 )
 
+// Completion interfaces for the node's asynchronous operations. The
+// runner's thread contexts and the begin state machine implement them;
+// using interfaces instead of func values keeps the request path free of
+// per-operation closure allocations (interface values over pooled
+// structs don't allocate).
+type (
+	loadDone  interface{ onLoadDone(v uint64, aborted bool) }
+	storeDone interface{ onStoreDone(aborted bool) }
+	casDone   interface {
+		onCASDone(prev uint64, swapped bool)
+	}
+	beginDone  interface{ onBeginDone(ok bool) }
+	commitDone interface{ onCommitDone(committed bool) }
+)
+
 // pendingWB is a writeback in flight; a probe served from it cancels the
-// in-flight message.
+// in-flight message. It is its own delivery event payload.
 type pendingWB struct {
+	n         *Node
+	tag       mem.Addr
 	data      mem.Line
 	cancelled bool
+}
+
+// Run delivers the writeback at the directory.
+func (wb *pendingWB) Run() {
+	n, tag := wb.n, wb.tag
+	if n.wbPending[tag] == wb {
+		delete(n.wbPending, tag)
+	}
+	n.m.dir.WriteBack(tag, wb.data, n.id, &wb.cancelled)
+	// The delivery message runs exactly once per writeback and is
+	// the last reference (probe service and reinstall both remove
+	// the entry from wbPending but copy the data out), so this is
+	// the one safe recycling point.
+	n.freeWB(wb)
 }
 
 // Node is one core: private L1, HTM state, the VSB validation controller
@@ -32,6 +63,17 @@ type Node struct {
 	// workloads that the per-eviction allocation showed up in profiles.
 	wbFree []*pendingWB
 
+	// Reusable event payloads. The thread rendezvous guarantees at most
+	// one demand access, one begin and one commit reply in flight per
+	// core, and valInFlight/valTimer guard the validation pair, so a
+	// single embedded instance of each replaces the per-stage closures
+	// the hot path used to allocate.
+	acc     access
+	beg     beginOp
+	crep    commitReply
+	val     valOp
+	valTick valTimerOp
+
 	// pendingStore is the line of the in-flight demand GetX, if any — the
 	// Rrestrict/W heuristic's "currently in-flight write from the local
 	// core" signal (Section VI-D).
@@ -40,7 +82,7 @@ type Node struct {
 
 	valTimer    *sim.Event
 	valInFlight bool
-	commitDone  func(committed bool)
+	commitDone  commitDone
 
 	// validatedThisTx counts VSB entries validated by the current
 	// transaction (reported through the tracer at commit).
@@ -53,7 +95,7 @@ func newNode(id int, m *Machine, policy htm.Policy) *Node {
 	if vsb <= 0 {
 		vsb = 1
 	}
-	return &Node{
+	n := &Node{
 		id:        id,
 		m:         m,
 		l1:        cache.New(m.cfg.L1Size, m.cfg.L1Ways),
@@ -62,6 +104,11 @@ func newNode(id int, m *Machine, policy htm.Policy) *Node {
 		rng:       sim.NewRand(m.cfg.Seed*1000003 + uint64(id) + 1),
 		wbPending: make(map[mem.Addr]*pendingWB),
 	}
+	n.acc.n = n
+	n.beg.n = n
+	n.val.n = n
+	n.valTick.n = n
+	return n
 }
 
 func (n *Node) reqInfo(inTx, isValidation bool) coherence.ReqInfo {
@@ -97,20 +144,10 @@ func (n *Node) handleVictim(v *cache.Victim) {
 	}
 	if v.State == cache.Modified && v.Dirty {
 		wb := n.allocWB()
+		wb.tag = v.Tag
 		wb.data = v.Data
 		n.wbPending[v.Tag] = wb
-		tag := v.Tag
-		n.m.net.SendData(func() {
-			if n.wbPending[tag] == wb {
-				delete(n.wbPending, tag)
-			}
-			n.m.dir.WriteBack(tag, wb.data, n.id, &wb.cancelled)
-			// The delivery message runs exactly once per writeback and is
-			// the last reference (probe service and reinstall both remove
-			// the entry from wbPending but copy the data out), so this is
-			// the one safe recycling point.
-			n.freeWB(wb)
-		})
+		n.m.net.SendDataMsg(wb)
 	}
 	// Clean lines (E, M-clean, S) drop silently; the directory tolerates
 	// it because the memory image holds their committed value.
@@ -126,7 +163,7 @@ func (n *Node) allocWB() *pendingWB {
 		wb.cancelled = false
 		return wb
 	}
-	return &pendingWB{}
+	return &pendingWB{n: n}
 }
 
 // freeWB recycles an entry whose delivery message has run.
@@ -152,17 +189,130 @@ func (n *Node) reinstall(line mem.Addr) *cache.Entry {
 	return e
 }
 
+// ---------- demand access state machine ----------
+
+// access kinds.
+const (
+	accLoad uint8 = iota
+	accStore
+	accCAS
+)
+
+// access stages. Each stage is one scheduled event in the original
+// closure chain: L1 lookup, L2 traversal, network hop to the directory,
+// retry timers, and the lazy-versioning writeback round trip.
+const (
+	stStart     uint8 = iota // L1 latency charged: run the access
+	stIssue                  // L2 latency charged: send the request
+	stReq                    // request delivered at the directory
+	stNackRetry              // nack retry delay elapsed
+	stVSBRetry               // VSB retry delay elapsed
+	stWBData                 // lazy-versioning writeback delivered
+	stWBAck                  // writeback acknowledged back at the core
+)
+
+// access is the node's demand-access (load/store/CAS) flow. The thread
+// rendezvous guarantees one in flight per core, so a single embedded
+// instance carries the whole chain with zero allocations.
+type access struct {
+	n         *Node
+	kind      uint8
+	stage     uint8
+	a         mem.Addr
+	v         uint64 // store value
+	old, new  uint64 // CAS operands
+	inTx      bool
+	epoch     uint64
+	nackTries int
+	vsbTries  int
+	wbData    mem.Line // lazy-versioning writeback payload
+	ld        loadDone
+	sd        storeDone
+	cd        casDone
+}
+
+// Run advances the access to its next stage.
+func (c *access) Run() {
+	n := c.n
+	switch c.stage {
+	case stStart, stNackRetry, stVSBRetry:
+		switch c.kind {
+		case accLoad:
+			n.load1(c)
+		case accStore:
+			n.store1(c)
+		case accCAS:
+			n.cas1(c)
+		}
+	case stIssue:
+		c.stage = stReq
+		n.m.net.SendControlMsg(c)
+	case stReq:
+		switch c.kind {
+		case accLoad:
+			n.m.dir.GetS(c.a.Line(), n.reqInfo(c.inTx, false), c)
+		case accStore:
+			n.m.dir.GetX(c.a.Line(), n.reqInfo(c.inTx, false), c)
+		case accCAS:
+			n.m.dir.GetX(c.a.Line(), n.reqInfo(false, false), c)
+		}
+	case stWBData:
+		n.m.dir.WriteBackData(c.a.Line(), c.wbData)
+		c.stage = stWBAck
+		n.m.net.SendControlMsg(c)
+	case stWBAck:
+		if cur := n.l1.Peek(c.a.Line()); cur != nil {
+			cur.Dirty = false
+		}
+		n.store1(c)
+	default:
+		panic("machine: bad access stage")
+	}
+}
+
+// HandleResp receives the directory's response.
+func (c *access) HandleResp(resp coherence.Resp) {
+	n := c.n
+	switch c.kind {
+	case accLoad:
+		n.onLoadResp(c, resp)
+	case accStore:
+		if c.inTx {
+			n.hasPendingStore = false
+		}
+		n.onStoreResp(c, resp)
+	case accCAS:
+		n.onCASResp(c, resp)
+	}
+}
+
+// issueL2 charges the L2 traversal and sends the request to the
+// directory over the interconnect.
+func (c *access) issueL2() {
+	c.stage = stIssue
+	c.n.m.eng.ScheduleRunner(c.n.m.cfg.L2Latency, c)
+}
+
 // ---------- Load ----------
 
 // Load performs a (transactional or plain) word load; done receives the
 // value, or aborted=true if the surrounding transaction died.
-func (n *Node) Load(a mem.Addr, inTx bool, done func(val uint64, aborted bool)) {
-	n.m.eng.Schedule(n.m.cfg.L1Latency, func() { n.load1(a, inTx, done, 0, 0) })
+func (n *Node) Load(a mem.Addr, inTx bool, done loadDone) {
+	c := &n.acc
+	c.kind = accLoad
+	c.stage = stStart
+	c.a = a
+	c.inTx = inTx
+	c.nackTries = 0
+	c.vsbTries = 0
+	c.ld = done
+	n.m.eng.ScheduleRunner(n.m.cfg.L1Latency, c)
 }
 
-func (n *Node) load1(a mem.Addr, inTx bool, done func(uint64, bool), nackTries, vsbTries int) {
+func (n *Node) load1(c *access) {
+	a, inTx := c.a, c.inTx
 	if inTx && !n.tx.InTx() {
-		done(0, true)
+		c.ld.onLoadDone(0, true)
 		return
 	}
 	if inTx && n.m.inj != nil && n.m.inj.SpuriousAbort() {
@@ -170,7 +320,7 @@ func (n *Node) load1(a mem.Addr, inTx bool, done func(uint64, bool), nackTries, 
 		// for no architectural reason.
 		n.m.countFault(n.id, "spurious")
 		n.abortTx(htm.CauseSpurious)
-		done(0, true)
+		c.ld.onLoadDone(0, true)
 		return
 	}
 	line := a.Line()
@@ -184,23 +334,18 @@ func (n *Node) load1(a mem.Addr, inTx bool, done func(uint64, bool), nackTries, 
 		if inTx {
 			n.tx.AddRead(line)
 		}
-		done(e.Data[a.WordIndex()], false)
+		c.ld.onLoadDone(e.Data[a.WordIndex()], false)
 		return
 	}
-	epoch := n.tx.Epoch
-	n.m.eng.Schedule(n.m.cfg.L2Latency, func() {
-		n.m.net.SendControl(func() {
-			n.m.dir.GetS(line, n.reqInfo(inTx, false), func(resp coherence.Resp) {
-				n.onLoadResp(a, inTx, epoch, resp, done, nackTries, vsbTries)
-			})
-		})
-	})
+	c.epoch = n.tx.Epoch
+	c.issueL2()
 }
 
-func (n *Node) onLoadResp(a mem.Addr, inTx bool, epoch uint64, resp coherence.Resp,
-	done func(uint64, bool), nackTries, vsbTries int) {
+func (n *Node) onLoadResp(c *access, resp coherence.Resp) {
+	a, inTx := c.a, c.inTx
+	done := c.ld
 	line := a.Line()
-	stale := inTx && n.tx.Epoch != epoch
+	stale := inTx && n.tx.Epoch != c.epoch
 	switch resp.Kind {
 	case coherence.RespData:
 		st := cache.Shared
@@ -208,15 +353,15 @@ func (n *Node) onLoadResp(a mem.Addr, inTx bool, epoch uint64, resp coherence.Re
 			st = cache.Exclusive
 		}
 		ok := n.install(line, st, resp.Data, false, false)
-		n.m.net.SendControl(func() { n.m.dir.Unblock(line) })
+		n.m.dir.SendUnblock(line)
 		if stale {
-			done(0, true)
+			done.onLoadDone(0, true)
 			return
 		}
 		if !ok {
 			if inTx {
 				n.abortTx(htm.CauseCapacity)
-				done(0, true)
+				done.onLoadDone(0, true)
 				return
 			}
 			panic("machine: non-transactional install failed")
@@ -224,55 +369,59 @@ func (n *Node) onLoadResp(a mem.Addr, inTx bool, epoch uint64, resp coherence.Re
 		if inTx {
 			n.tx.AddRead(line)
 		}
-		done(resp.Data[a.WordIndex()], false)
+		done.onLoadDone(resp.Data[a.WordIndex()], false)
 	case coherence.RespSpec:
 		if !inTx {
 			panic("machine: SpecResp delivered to a non-transactional load")
 		}
 		if stale {
 			n.m.stats.SpecDropStale++
-			done(0, true)
+			done.onLoadDone(0, true)
 			return
 		}
-		n.consumeSpec(line, resp, vsbTries,
-			func() { // retry the whole access
-				n.m.eng.Schedule(n.m.cfg.VSBRetryDelay, func() {
-					n.load1(a, inTx, done, nackTries, vsbTries+1)
-				})
-			},
-			func(aborted bool) {
-				if aborted {
-					done(0, true)
-					return
-				}
-				n.tx.AddRead(line)
-				e := n.l1.Peek(line)
-				done(e.Data[a.WordIndex()], false)
-			})
+		switch n.consumeSpec(line, resp, c.vsbTries) {
+		case specAborted:
+			done.onLoadDone(0, true)
+		case specRetry:
+			c.vsbTries++
+			c.stage = stVSBRetry
+			n.m.eng.ScheduleRunner(n.m.cfg.VSBRetryDelay, c)
+		case specOK:
+			n.tx.AddRead(line)
+			e := n.l1.Peek(line)
+			done.onLoadDone(e.Data[a.WordIndex()], false)
+		}
 	case coherence.RespNack:
 		if stale {
-			done(0, true)
+			done.onLoadDone(0, true)
 			return
 		}
-		if inTx && nackTries+1 >= n.m.cfg.NackRetryLimit {
+		if inTx && c.nackTries+1 >= n.m.cfg.NackRetryLimit {
 			n.abortTx(htm.CauseStall)
-			done(0, true)
+			done.onLoadDone(0, true)
 			return
 		}
 		n.m.stats.NackRetries++
 		n.m.emitNackRetry(n.id, line)
-		n.m.eng.Schedule(n.m.cfg.NackRetryDelay, func() {
-			n.load1(a, inTx, done, nackTries+1, vsbTries)
-		})
+		c.nackTries++
+		c.stage = stNackRetry
+		n.m.eng.ScheduleRunner(n.m.cfg.NackRetryDelay, c)
 	}
 }
 
+// specOutcome is consumeSpec's verdict on a demand-path SpecResp.
+type specOutcome uint8
+
+const (
+	specOK      specOutcome = iota // fiction installed; continue the access
+	specRetry                      // re-issue the access after VSBRetryDelay
+	specAborted                    // the consumer transaction died
+)
+
 // consumeSpec handles a demand-path SpecResp: VSB capacity, the policy's
 // consumer-side rules, and installation of the fiction line (SM + Spec,
-// added to the write set per Section V-A). retry re-issues the request;
-// cont continues the access (aborted=true when the consumer must die).
-func (n *Node) consumeSpec(line mem.Addr, resp coherence.Resp, vsbTries int,
-	retry func(), cont func(aborted bool)) {
+// added to the write set per Section V-A).
+func (n *Node) consumeSpec(line mem.Addr, resp coherence.Resp, vsbTries int) specOutcome {
 	vsbFull := n.tx.VSB.Full()
 	if !vsbFull && n.m.inj != nil && n.m.inj.VSBFull() {
 		// Forced capacity pressure: treat the VSB as full for this
@@ -285,11 +434,9 @@ func (n *Node) consumeSpec(line mem.Addr, resp coherence.Resp, vsbTries int,
 			n.m.stats.SpecDropVSB++
 			if vsbTries+1 >= n.m.cfg.VSBRetryLimit {
 				n.abortTx(htm.CauseCapacity)
-				cont(true)
-				return
+				return specAborted
 			}
-			retry()
-			return
+			return specRetry
 		}
 	}
 	out := n.policy.AcceptSpec(n.tx, resp.PiC)
@@ -297,29 +444,27 @@ func (n *Node) consumeSpec(line mem.Addr, resp coherence.Resp, vsbTries int,
 	case out.Cause != htm.CauseNone:
 		n.m.stats.SpecDropReject++
 		n.abortTx(out.Cause)
-		cont(true)
+		return specAborted
 	case out.Retry:
 		if vsbTries+1 >= n.m.cfg.VSBRetryLimit {
 			n.abortTx(htm.CauseStall)
-			cont(true)
-			return
+			return specAborted
 		}
-		retry()
+		return specRetry
 	case out.Accept:
 		if !n.tx.VSB.Add(line, resp.Data) {
 			panic("machine: VSB add failed after capacity check")
 		}
 		if !n.install(line, cache.Modified, resp.Data, true, true) {
 			n.abortTx(htm.CauseCapacity)
-			cont(true)
-			return
+			return specAborted
 		}
 		n.tx.AddWrite(line)
 		n.tx.Consumed = true
 		n.m.stats.SpecRespsConsumed++
 		n.m.emitConsume(n.id, line, resp.PiC)
 		n.armValidationTimer()
-		cont(false)
+		return specOK
 	default:
 		panic("machine: empty SpecOutcome")
 	}
@@ -328,19 +473,29 @@ func (n *Node) consumeSpec(line mem.Addr, resp coherence.Resp, vsbTries int,
 // ---------- Store ----------
 
 // Store performs a (transactional or plain) word store.
-func (n *Node) Store(a mem.Addr, v uint64, inTx bool, done func(aborted bool)) {
-	n.m.eng.Schedule(n.m.cfg.L1Latency, func() { n.store1(a, v, inTx, done, 0, 0) })
+func (n *Node) Store(a mem.Addr, v uint64, inTx bool, done storeDone) {
+	c := &n.acc
+	c.kind = accStore
+	c.stage = stStart
+	c.a = a
+	c.v = v
+	c.inTx = inTx
+	c.nackTries = 0
+	c.vsbTries = 0
+	c.sd = done
+	n.m.eng.ScheduleRunner(n.m.cfg.L1Latency, c)
 }
 
-func (n *Node) store1(a mem.Addr, v uint64, inTx bool, done func(bool), nackTries, vsbTries int) {
+func (n *Node) store1(c *access) {
+	a, v, inTx := c.a, c.v, c.inTx
 	if inTx && !n.tx.InTx() {
-		done(true)
+		c.sd.onStoreDone(true)
 		return
 	}
 	if inTx && n.m.inj != nil && n.m.inj.SpuriousAbort() {
 		n.m.countFault(n.id, "spurious")
 		n.abortTx(htm.CauseSpurious)
-		done(true)
+		c.sd.onStoreDone(true)
 		return
 	}
 	line := a.Line()
@@ -355,7 +510,7 @@ func (n *Node) store1(a mem.Addr, v uint64, inTx bool, done func(bool), nackTrie
 		case e.SM:
 			// Already in the write set (possibly a spec-received fiction).
 			e.Data[a.WordIndex()] = v
-			done(false)
+			c.sd.onStoreDone(false)
 			return
 		case e.State == cache.Modified || e.State == cache.Exclusive:
 			if inTx {
@@ -364,16 +519,9 @@ func (n *Node) store1(a mem.Addr, v uint64, inTx bool, done func(bool), nackTrie
 					// LLC before the first speculative write, so a later
 					// silent gang-invalidation cannot lose it. The store
 					// stalls until the writeback lands.
-					data := e.Data
-					n.m.net.SendData(func() {
-						n.m.dir.WriteBackData(line, data)
-						n.m.net.SendControl(func() {
-							if cur := n.l1.Peek(line); cur != nil {
-								cur.Dirty = false
-							}
-							n.store1(a, v, inTx, done, nackTries, vsbTries)
-						})
-					})
+					c.wbData = e.Data
+					c.stage = stWBData
+					n.m.net.SendDataMsg(c)
 					return
 				}
 				e.SM = true
@@ -384,44 +532,36 @@ func (n *Node) store1(a mem.Addr, v uint64, inTx bool, done func(bool), nackTrie
 				e.Dirty = true
 				e.Data[a.WordIndex()] = v
 			}
-			done(false)
+			c.sd.onStoreDone(false)
 			return
 		}
 		// Shared: fall through to the upgrade request.
 	}
-	epoch := n.tx.Epoch
+	c.epoch = n.tx.Epoch
 	if inTx {
 		n.pendingStore = line
 		n.hasPendingStore = true
 	}
-	n.m.eng.Schedule(n.m.cfg.L2Latency, func() {
-		n.m.net.SendControl(func() {
-			n.m.dir.GetX(line, n.reqInfo(inTx, false), func(resp coherence.Resp) {
-				if inTx {
-					n.hasPendingStore = false
-				}
-				n.onStoreResp(a, v, inTx, epoch, resp, done, nackTries, vsbTries)
-			})
-		})
-	})
+	c.issueL2()
 }
 
-func (n *Node) onStoreResp(a mem.Addr, v uint64, inTx bool, epoch uint64, resp coherence.Resp,
-	done func(bool), nackTries, vsbTries int) {
+func (n *Node) onStoreResp(c *access, resp coherence.Resp) {
+	a, v, inTx := c.a, c.v, c.inTx
+	done := c.sd
 	line := a.Line()
-	stale := inTx && n.tx.Epoch != epoch
+	stale := inTx && n.tx.Epoch != c.epoch
 	switch resp.Kind {
 	case coherence.RespData:
 		ok := n.install(line, cache.Modified, resp.Data, false, false)
-		n.m.net.SendControl(func() { n.m.dir.Unblock(line) })
+		n.m.dir.SendUnblock(line)
 		if stale {
-			done(true)
+			done.onStoreDone(true)
 			return
 		}
 		if !ok {
 			if inTx {
 				n.abortTx(htm.CauseCapacity)
-				done(true)
+				done.onStoreDone(true)
 				return
 			}
 			panic("machine: non-transactional install failed")
@@ -434,46 +574,43 @@ func (n *Node) onStoreResp(a mem.Addr, v uint64, inTx bool, epoch uint64, resp c
 			e.Dirty = true
 		}
 		e.Data[a.WordIndex()] = v
-		done(false)
+		done.onStoreDone(false)
 	case coherence.RespSpec:
 		if !inTx {
 			panic("machine: SpecResp delivered to a non-transactional store")
 		}
 		if stale {
 			n.m.stats.SpecDropStale++
-			done(true)
+			done.onStoreDone(true)
 			return
 		}
-		n.consumeSpec(line, resp, vsbTries,
-			func() {
-				n.m.eng.Schedule(n.m.cfg.VSBRetryDelay, func() {
-					n.store1(a, v, inTx, done, nackTries, vsbTries+1)
-				})
-			},
-			func(aborted bool) {
-				if aborted {
-					done(true)
-					return
-				}
-				e := n.l1.Peek(line)
-				e.Data[a.WordIndex()] = v
-				done(false)
-			})
+		switch n.consumeSpec(line, resp, c.vsbTries) {
+		case specAborted:
+			done.onStoreDone(true)
+		case specRetry:
+			c.vsbTries++
+			c.stage = stVSBRetry
+			n.m.eng.ScheduleRunner(n.m.cfg.VSBRetryDelay, c)
+		case specOK:
+			e := n.l1.Peek(line)
+			e.Data[a.WordIndex()] = v
+			done.onStoreDone(false)
+		}
 	case coherence.RespNack:
 		if stale {
-			done(true)
+			done.onStoreDone(true)
 			return
 		}
-		if inTx && nackTries+1 >= n.m.cfg.NackRetryLimit {
+		if inTx && c.nackTries+1 >= n.m.cfg.NackRetryLimit {
 			n.abortTx(htm.CauseStall)
-			done(true)
+			done.onStoreDone(true)
 			return
 		}
 		n.m.stats.NackRetries++
 		n.m.emitNackRetry(n.id, line)
-		n.m.eng.Schedule(n.m.cfg.NackRetryDelay, func() {
-			n.store1(a, v, inTx, done, nackTries+1, vsbTries)
-		})
+		c.nackTries++
+		c.stage = stNackRetry
+		n.m.eng.ScheduleRunner(n.m.cfg.NackRetryDelay, c)
 	}
 }
 
@@ -484,14 +621,25 @@ func (n *Node) predicted(line mem.Addr) bool {
 	return n.hasPendingStore && n.pendingStore == line.Line()
 }
 
+// ---------- CAS ----------
+
 // CAS performs a non-transactional compare-and-swap (used by the
 // fallback lock). done receives the previous value and whether the swap
 // happened.
-func (n *Node) CAS(a mem.Addr, old, new uint64, done func(prev uint64, swapped bool)) {
-	n.m.eng.Schedule(n.m.cfg.L1Latency, func() { n.cas1(a, old, new, done) })
+func (n *Node) CAS(a mem.Addr, old, new uint64, done casDone) {
+	c := &n.acc
+	c.kind = accCAS
+	c.stage = stStart
+	c.a = a
+	c.old = old
+	c.new = new
+	c.inTx = false
+	c.cd = done
+	n.m.eng.ScheduleRunner(n.m.cfg.L1Latency, c)
 }
 
-func (n *Node) cas1(a mem.Addr, old, new uint64, done func(uint64, bool)) {
+func (n *Node) cas1(c *access) {
+	a, old, new := c.a, c.old, c.new
 	line := a.Line()
 	e := n.l1.Lookup(line)
 	if e == nil {
@@ -505,36 +653,38 @@ func (n *Node) cas1(a mem.Addr, old, new uint64, done func(uint64, bool)) {
 			e.State = cache.Modified
 			e.Dirty = true
 			e.Data[a.WordIndex()] = new
-			done(prev, true)
+			c.cd.onCASDone(prev, true)
 		} else {
-			done(prev, false)
+			c.cd.onCASDone(prev, false)
 		}
 		return
 	}
-	n.m.eng.Schedule(n.m.cfg.L2Latency, func() {
-		n.m.net.SendControl(func() {
-			n.m.dir.GetX(line, n.reqInfo(false, false), func(resp coherence.Resp) {
-				switch resp.Kind {
-				case coherence.RespData:
-					if !n.install(line, cache.Modified, resp.Data, false, false) {
-						panic("machine: CAS install failed")
-					}
-					n.m.net.SendControl(func() { n.m.dir.Unblock(line) })
-					e := n.l1.Peek(line)
-					prev := e.Data[a.WordIndex()]
-					if prev == old {
-						e.Dirty = true
-						e.Data[a.WordIndex()] = new
-						done(prev, true)
-					} else {
-						done(prev, false)
-					}
-				case coherence.RespSpec:
-					panic("machine: SpecResp delivered to CAS")
-				case coherence.RespNack:
-					n.m.eng.Schedule(n.m.cfg.NackRetryDelay, func() { n.cas1(a, old, new, done) })
-				}
-			})
-		})
-	})
+	c.issueL2()
+}
+
+func (n *Node) onCASResp(c *access, resp coherence.Resp) {
+	a, old, new := c.a, c.old, c.new
+	done := c.cd
+	line := a.Line()
+	switch resp.Kind {
+	case coherence.RespData:
+		if !n.install(line, cache.Modified, resp.Data, false, false) {
+			panic("machine: CAS install failed")
+		}
+		n.m.dir.SendUnblock(line)
+		e := n.l1.Peek(line)
+		prev := e.Data[a.WordIndex()]
+		if prev == old {
+			e.Dirty = true
+			e.Data[a.WordIndex()] = new
+			done.onCASDone(prev, true)
+		} else {
+			done.onCASDone(prev, false)
+		}
+	case coherence.RespSpec:
+		panic("machine: SpecResp delivered to CAS")
+	case coherence.RespNack:
+		c.stage = stNackRetry
+		n.m.eng.ScheduleRunner(n.m.cfg.NackRetryDelay, c)
+	}
 }

@@ -111,6 +111,27 @@ func (n *Node) replyNormal(p coherence.Probe, e *cache.Entry) {
 	}
 }
 
+// commitReply delivers a Commit/abort outcome to the waiting thread
+// after the commit/abort latency.
+type commitReply struct {
+	done      commitDone
+	committed bool
+}
+
+// Run wakes the thread.
+func (c *commitReply) Run() {
+	d := c.done
+	c.done = nil
+	d.onCommitDone(c.committed)
+}
+
+// scheduleCommitReply arms the node's reply event.
+func (n *Node) scheduleCommitReply(delay uint64, done commitDone, committed bool) {
+	n.crep.done = done
+	n.crep.committed = committed
+	n.m.eng.ScheduleRunner(delay, &n.crep)
+}
+
 // abortTx kills the running transaction: stats, gang invalidation of the
 // write set, and — if the thread was blocked in commit — its wakeup. The
 // thread otherwise discovers the abort at its next operation.
@@ -137,7 +158,59 @@ func (n *Node) abortTx(cause htm.AbortCause) {
 	if wasCommitting && n.commitDone != nil {
 		done := n.commitDone
 		n.commitDone = nil
-		n.m.eng.Schedule(n.m.cfg.AbortLatency, func() { done(false) })
+		n.scheduleCommitReply(n.m.cfg.AbortLatency, done, false)
+	}
+}
+
+// beginOp is the BeginTx state machine: begin latency, the non-
+// transactional lock read (with randomized backoff while the lock is
+// held) and the eager transactional lock subscription.
+type beginOp struct {
+	n       *Node
+	attempt int
+	power   bool
+	phase   uint8
+	done    beginDone
+}
+
+const (
+	bpLockFree  uint8 = iota // outer (non-transactional) lock read completed
+	bpSubscribe              // transactional lock subscription completed
+)
+
+// Run fires after the begin latency or a backoff wait: (re-)read the
+// fallback lock.
+func (b *beginOp) Run() { b.n.begin1(b) }
+
+func (b *beginOp) onLoadDone(v uint64, aborted bool) {
+	n := b.n
+	switch b.phase {
+	case bpLockFree:
+		if v != 0 {
+			n.m.eng.ScheduleRunner(n.m.cfg.BackoffBase+n.rng.Uint64n(n.m.cfg.BackoffBase), b)
+			return
+		}
+		n.tx.Begin(b.attempt, n.policy.Traits().NaiveBudget)
+		n.tx.Power = b.power
+		n.tx.TS = n.m.nextTS()
+		b.phase = bpSubscribe
+		n.Load(n.m.lockAddr, true, b)
+	case bpSubscribe:
+		if aborted {
+			b.done.onBeginDone(false)
+			return
+		}
+		if v != 0 {
+			n.abortTx(htm.CauseLock)
+			n.tx.Finish()
+			b.done.onBeginDone(false)
+			return
+		}
+		n.validatedThisTx = 0
+		n.m.emitBegin(n.id, b.attempt, b.power)
+		b.done.onBeginDone(true)
+	default:
+		panic("machine: bad beginOp phase")
 	}
 }
 
@@ -145,45 +218,25 @@ func (n *Node) abortTx(cause htm.AbortCause) {
 // to be free, begins, and eagerly subscribes to the lock (reads it into
 // the read signature). done(false) means the begin raced with a lock
 // acquisition and should simply be retried.
-func (n *Node) BeginTx(attempt int, power bool, done func(ok bool)) {
-	n.m.eng.Schedule(n.m.cfg.BeginLatency, func() { n.begin1(attempt, power, done) })
+func (n *Node) BeginTx(attempt int, power bool, done beginDone) {
+	b := &n.beg
+	b.attempt = attempt
+	b.power = power
+	b.done = done
+	n.m.eng.ScheduleRunner(n.m.cfg.BeginLatency, b)
 }
 
-func (n *Node) begin1(attempt int, power bool, done func(bool)) {
-	n.Load(n.m.lockAddr, false, func(v uint64, _ bool) {
-		if v != 0 {
-			n.m.eng.Schedule(n.m.cfg.BackoffBase+n.rng.Uint64n(n.m.cfg.BackoffBase), func() {
-				n.begin1(attempt, power, done)
-			})
-			return
-		}
-		n.tx.Begin(attempt, n.policy.Traits().NaiveBudget)
-		n.tx.Power = power
-		n.tx.TS = n.m.nextTS()
-		n.Load(n.m.lockAddr, true, func(v uint64, aborted bool) {
-			if aborted {
-				done(false)
-				return
-			}
-			if v != 0 {
-				n.abortTx(htm.CauseLock)
-				n.tx.Finish()
-				done(false)
-				return
-			}
-			n.validatedThisTx = 0
-			n.m.emitBegin(n.id, attempt, power)
-			done(true)
-		})
-	})
+func (n *Node) begin1(b *beginOp) {
+	b.phase = bpLockFree
+	n.Load(n.m.lockAddr, false, b)
 }
 
 // Commit attempts to commit: the VSB must drain first (validation of all
 // speculatively received lines), then the write set atomically becomes
 // architectural.
-func (n *Node) Commit(done func(committed bool)) {
+func (n *Node) Commit(done commitDone) {
 	if !n.tx.InTx() {
-		n.m.eng.Schedule(n.m.cfg.AbortLatency, func() { done(false) })
+		n.scheduleCommitReply(n.m.cfg.AbortLatency, done, false)
 		return
 	}
 	if !n.tx.VSB.Empty() {
@@ -195,7 +248,7 @@ func (n *Node) Commit(done func(committed bool)) {
 	n.finalizeCommit(done)
 }
 
-func (n *Node) finalizeCommit(done func(bool)) {
+func (n *Node) finalizeCommit(done commitDone) {
 	n.m.emitCommit(n.id, n.validatedThisTx)
 	n.l1.CommitSM(nil)
 	n.m.stats.Commits++
@@ -213,7 +266,7 @@ func (n *Node) finalizeCommit(done func(bool)) {
 	}
 	n.tx.Finish()
 	n.stopValidationTimer()
-	n.m.eng.Schedule(n.m.cfg.CommitLatency, func() { done(true) })
+	n.scheduleCommitReply(n.m.cfg.CommitLatency, done, true)
 }
 
 // FinishAbort acknowledges a delivered abort: the thread has unwound and
@@ -243,6 +296,35 @@ func (n *Node) ExitFallback() {
 
 // ---------- VSB validation controller (Section IV-B) ----------
 
+// valTimerOp is the periodic validation timer's payload.
+type valTimerOp struct{ n *Node }
+
+// Run fires the timer: clear the handle and issue the validation.
+func (v *valTimerOp) Run() {
+	v.n.valTimer = nil
+	v.n.issueValidation()
+}
+
+// valOp is one in-flight validation request: the network hop carrying
+// the re-issued GetX, and the response handler. valInFlight guarantees a
+// single instance suffices.
+type valOp struct {
+	n     *Node
+	ent   htm.VSBEntry
+	epoch uint64
+}
+
+// Run delivers the validation request at the directory.
+func (v *valOp) Run() {
+	n := v.n
+	n.m.dir.GetX(v.ent.Line, n.reqInfo(true, true), v)
+}
+
+// HandleResp receives the validation response.
+func (v *valOp) HandleResp(resp coherence.Resp) {
+	v.n.onValidationResp(v.ent, v.epoch, resp)
+}
+
 func (n *Node) stopValidationTimer() {
 	if n.valTimer != nil {
 		n.m.eng.Cancel(n.valTimer)
@@ -260,10 +342,7 @@ func (n *Node) armValidationTimer() {
 	if interval == 0 || n.tx.Status == htm.Committing {
 		interval = 1 // back-to-back validation
 	}
-	n.valTimer = n.m.eng.Schedule(interval, func() {
-		n.valTimer = nil
-		n.issueValidation()
-	})
+	n.valTimer = n.m.eng.ScheduleRunner(interval, &n.valTick)
 }
 
 // kickValidation validates immediately (commit is waiting).
@@ -282,14 +361,11 @@ func (n *Node) issueValidation() {
 	if !ok {
 		return
 	}
-	epoch := n.tx.Epoch
+	n.val.ent = ent
+	n.val.epoch = n.tx.Epoch
 	n.valInFlight = true
 	n.m.stats.Validations++
-	n.m.net.SendControl(func() {
-		n.m.dir.GetX(ent.Line, n.reqInfo(true, true), func(resp coherence.Resp) {
-			n.onValidationResp(ent, epoch, resp)
-		})
-	})
+	n.m.net.SendControlMsg(&n.val)
 }
 
 func (n *Node) onValidationResp(ent htm.VSBEntry, epoch uint64, resp coherence.Resp) {
@@ -297,7 +373,7 @@ func (n *Node) onValidationResp(ent htm.VSBEntry, epoch uint64, resp coherence.R
 	stale := n.tx.Epoch != epoch
 	switch resp.Kind {
 	case coherence.RespData:
-		n.m.net.SendControl(func() { n.m.dir.Unblock(ent.Line) })
+		n.m.dir.SendUnblock(ent.Line)
 		if stale {
 			// Ownership granted to a dead transaction: adopt the line as a
 			// plain clean copy so the directory's view stays consistent.

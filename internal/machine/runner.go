@@ -88,6 +88,31 @@ type opReply struct {
 	fatal   bool
 }
 
+// tctxTimer is the payload for the thread ops that are pure delays
+// (work, abort ack, fallback transitions, power handoff). One per
+// thread: the rendezvous guarantees a single pending op.
+type tctxTimer struct {
+	t     *tctx
+	op    opKind
+	ok    bool
+	cause htm.AbortCause
+}
+
+// Run completes the delayed op and wakes the thread.
+func (tt *tctxTimer) Run() {
+	t := tt.t
+	switch tt.op {
+	case opWork:
+		// A transaction may have died while the work was in progress;
+		// report it at completion, like the original deferred check.
+		t.finish(opReply{aborted: t.req.inTx && !t.node.tx.InTx()})
+	case opAbortAck:
+		t.finish(opReply{cause: tt.cause})
+	default:
+		t.finish(opReply{ok: tt.ok})
+	}
+}
+
 // tctx is one simulated thread: the goroutine side talks to the engine
 // through a strict rendezvous, so exactly one of {engine, some thread}
 // runs at any instant and the simulation stays deterministic.
@@ -102,6 +127,67 @@ type tctx struct {
 	// engine-side bookkeeping
 	pendingOp bool
 	done      bool
+	req       opReq // the op in flight (valid while pendingOp)
+	timer     tctxTimer
+}
+
+// finish completes the pending op: reply to the thread and block for its
+// next request.
+func (t *tctx) finish(rep opReply) {
+	t.pendingOp = false
+	t.replyCh <- rep
+	t.r.pump(t)
+}
+
+// Completion handlers for the node's asynchronous operations; they
+// mirror the per-op closures dispatch used to allocate.
+
+func (t *tctx) onLoadDone(v uint64, aborted bool) {
+	if !aborted {
+		t.r.m.emitOp(t.node.id, OpLoad, t.req.inTx, t.req.addr, v, 0, true)
+	}
+	t.finish(opReply{val: v, aborted: aborted})
+}
+
+func (t *tctx) onStoreDone(aborted bool) {
+	if !aborted {
+		t.r.m.emitOp(t.node.id, OpStore, t.req.inTx, t.req.addr, t.req.val, 0, true)
+	}
+	t.finish(opReply{aborted: aborted})
+}
+
+func (t *tctx) onCASDone(prev uint64, swapped bool) {
+	t.r.m.emitOp(t.node.id, OpCAS, false, t.req.addr, prev, t.req.val2, swapped)
+	t.finish(opReply{val: prev, swapped: swapped})
+}
+
+func (t *tctx) onBeginDone(ok bool) { t.finish(opReply{ok: ok}) }
+
+func (t *tctx) onCommitDone(committed bool) {
+	if committed {
+		t.finish(opReply{ok: true})
+	} else {
+		t.finish(opReply{aborted: true, cause: t.node.FinishAbort()})
+	}
+}
+
+// wdTick is the livelock watchdog's event payload.
+type wdTick struct{ r *runner }
+
+// Run checks for progress since the last tick.
+func (w *wdTick) Run() {
+	r := w.r
+	r.wd = nil
+	if r.active == 0 {
+		return
+	}
+	progress := r.m.stats.Commits + r.m.stats.Fallbacks
+	if progress == r.wdLast {
+		r.m.eng.Halt(r.m.livelockError(r.m.cfg.WatchdogCycles))
+		return
+	}
+	r.wdLast = progress
+	r.armWatchdog()
 }
 
 type runner struct {
@@ -115,26 +201,18 @@ type runner struct {
 	// run with a diagnostic dump.
 	wd     *sim.Event
 	wdLast uint64
+	tick   wdTick
 }
 
-func newRunner(m *Machine) *runner { return &runner{m: m} }
+func newRunner(m *Machine) *runner {
+	r := &runner{m: m}
+	r.tick.r = r
+	return r
+}
 
 // armWatchdog schedules the next progress check.
 func (r *runner) armWatchdog() {
-	window := r.m.cfg.WatchdogCycles
-	r.wd = r.m.eng.Schedule(window, func() {
-		r.wd = nil
-		if r.active == 0 {
-			return
-		}
-		progress := r.m.stats.Commits + r.m.stats.Fallbacks
-		if progress == r.wdLast {
-			r.m.eng.Halt(r.m.livelockError(window))
-			return
-		}
-		r.wdLast = progress
-		r.armWatchdog()
-	})
+	r.wd = r.m.eng.ScheduleRunner(r.m.cfg.WatchdogCycles, &r.tick)
 }
 
 func (r *runner) run(w Workload) error {
@@ -142,14 +220,16 @@ func (r *runner) run(w Workload) error {
 	// call Ctx.Threads() (len(r.threads)) as soon as they start, so the
 	// slice must not grow concurrently.
 	for i := range r.m.nodes {
-		r.threads = append(r.threads, &tctx{
+		t := &tctx{
 			r:       r,
 			node:    r.m.nodes[i],
 			tid:     i,
 			rng:     sim.NewRand(r.m.cfg.Seed*7919 + uint64(i) + 101),
 			reqCh:   make(chan opReq),
 			replyCh: make(chan opReply),
-		})
+		}
+		t.timer.t = t
+		r.threads = append(r.threads, t)
 	}
 	var wg sync.WaitGroup
 	for _, t := range r.threads {
@@ -229,39 +309,21 @@ func (r *runner) dispatch(t *tctx, req opReq) {
 	m := r.m
 	n := t.node
 	t.pendingOp = true
-	finish := func(rep opReply) {
-		t.pendingOp = false
-		t.replyCh <- rep
-		r.pump(t)
-	}
+	t.req = req
 	switch req.kind {
 	case opLoad:
-		n.Load(req.addr, req.inTx, func(v uint64, ab bool) {
-			if !ab {
-				m.emitOp(n.id, OpLoad, req.inTx, req.addr, v, 0, true)
-			}
-			finish(opReply{val: v, aborted: ab})
-		})
+		n.Load(req.addr, req.inTx, t)
 	case opStore:
-		n.Store(req.addr, req.val, req.inTx, func(ab bool) {
-			if !ab {
-				m.emitOp(n.id, OpStore, req.inTx, req.addr, req.val, 0, true)
-			}
-			finish(opReply{aborted: ab})
-		})
+		n.Store(req.addr, req.val, req.inTx, t)
 	case opCAS:
-		n.CAS(req.addr, req.val, req.val2, func(prev uint64, sw bool) {
-			m.emitOp(n.id, OpCAS, false, req.addr, prev, req.val2, sw)
-			finish(opReply{val: prev, swapped: sw})
-		})
+		n.CAS(req.addr, req.val, req.val2, t)
 	case opWork:
 		cycles := req.val
 		if cycles == 0 {
 			cycles = 1
 		}
-		m.eng.Schedule(cycles, func() {
-			finish(opReply{aborted: req.inTx && !n.tx.InTx()})
-		})
+		t.timer.op = opWork
+		m.eng.ScheduleRunner(cycles, &t.timer)
 	case opBegin:
 		if m.cfg.MaxAttempts > 0 && req.attempt > m.cfg.MaxAttempts {
 			// Starvation budget exceeded: halt the engine with the dump.
@@ -270,22 +332,13 @@ func (r *runner) dispatch(t *tctx, req opReq) {
 			m.eng.Halt(m.starvationError(n.id, req.attempt))
 			return
 		}
-		n.BeginTx(req.attempt, req.power, func(ok bool) {
-			finish(opReply{ok: ok})
-		})
+		n.BeginTx(req.attempt, req.power, t)
 	case opCommit:
-		n.Commit(func(committed bool) {
-			if committed {
-				finish(opReply{ok: true})
-			} else {
-				finish(opReply{aborted: true, cause: n.FinishAbort()})
-			}
-		})
+		n.Commit(t)
 	case opAbortAck:
-		cause := n.FinishAbort()
-		m.eng.Schedule(m.cfg.AbortLatency, func() {
-			finish(opReply{cause: cause})
-		})
+		t.timer.op = opAbortAck
+		t.timer.cause = n.FinishAbort()
+		m.eng.ScheduleRunner(m.cfg.AbortLatency, &t.timer)
 	case opEnterFallback:
 		n.EnterFallback()
 		delay := uint64(1)
@@ -297,16 +350,23 @@ func (r *runner) dispatch(t *tctx, req opReq) {
 				delay += d
 			}
 		}
-		m.eng.Schedule(delay, func() { finish(opReply{ok: true}) })
+		t.timer.op = opEnterFallback
+		t.timer.ok = true
+		m.eng.ScheduleRunner(delay, &t.timer)
 	case opExitFallback:
 		n.ExitFallback()
-		m.eng.Schedule(1, func() { finish(opReply{ok: true}) })
+		t.timer.op = opExitFallback
+		t.timer.ok = true
+		m.eng.ScheduleRunner(1, &t.timer)
 	case opAcquirePower:
-		ok := m.tryAcquirePower(n.id)
-		m.eng.Schedule(1, func() { finish(opReply{ok: ok}) })
+		t.timer.op = opAcquirePower
+		t.timer.ok = m.tryAcquirePower(n.id)
+		m.eng.ScheduleRunner(1, &t.timer)
 	case opReleasePower:
 		m.releasePower(n.id)
-		m.eng.Schedule(1, func() { finish(opReply{ok: true}) })
+		t.timer.op = opReleasePower
+		t.timer.ok = true
+		m.eng.ScheduleRunner(1, &t.timer)
 	default:
 		panic("machine: unknown op")
 	}

@@ -53,18 +53,34 @@ func New(eng *sim.Engine, linkLatency uint64) *Network {
 // SendControl delivers a 1-flit message (requests, acks, nacks,
 // cancellations) and invokes deliver at the destination.
 func (n *Network) SendControl(deliver func()) {
-	n.send(ControlFlits, deliver)
+	n.eng.Schedule(n.delay(ControlFlits), deliver)
 	n.Stats.ControlMsgs++
 }
 
 // SendData delivers a 5-flit message (any message carrying a cache line:
 // data responses, SpecResp, writebacks).
 func (n *Network) SendData(deliver func()) {
-	n.send(DataFlits, deliver)
+	n.eng.Schedule(n.delay(DataFlits), deliver)
 	n.Stats.DataMsgs++
 }
 
-func (n *Network) send(flits uint64, deliver func()) {
+// SendControlMsg is SendControl with a typed payload: the hot paths use
+// pooled message structs instead of per-hop closures so sending does not
+// allocate.
+func (n *Network) SendControlMsg(r sim.Runner) {
+	n.eng.ScheduleRunner(n.delay(ControlFlits), r)
+	n.Stats.ControlMsgs++
+}
+
+// SendDataMsg is SendData with a typed payload.
+func (n *Network) SendDataMsg(r sim.Runner) {
+	n.eng.ScheduleRunner(n.delay(DataFlits), r)
+	n.Stats.DataMsgs++
+}
+
+// delay accounts the message and computes its delivery latency,
+// including fault-injected jitter and the in-order delivery clamp.
+func (n *Network) delay(flits uint64) uint64 {
 	n.Stats.Messages++
 	n.Stats.Flits += flits
 	delay := n.linkLatency + flits
@@ -76,5 +92,5 @@ func (n *Network) send(flits uint64, deliver func()) {
 		}
 		n.lastDelivery = now + delay
 	}
-	n.eng.Schedule(delay, deliver)
+	return delay
 }

@@ -50,3 +50,53 @@ func BenchmarkTimerCancelReschedule(b *testing.B) {
 		e.Cancel(ev)
 	}
 }
+
+// benchRunner is a typed payload like the pooled per-layer message
+// structs: scheduling it must not allocate, payload included.
+type benchRunner struct{ n uint64 }
+
+func (r *benchRunner) Run() { r.n++ }
+
+// BenchmarkScheduleFireRunner is the schedule/fire cycle with a typed
+// payload instead of a closure — the production hot path after the
+// dispatch refactor. 0 allocs/op including the payload.
+func BenchmarkScheduleFireRunner(b *testing.B) {
+	var e Engine
+	r := &benchRunner{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.ScheduleRunner(1, r)
+		e.Step()
+	}
+}
+
+// BenchmarkScheduleFireRunnerDeep keeps a standing queue of 64 events at
+// mixed offsets so bucket scanning at realistic occupancy is measured.
+func BenchmarkScheduleFireRunnerDeep(b *testing.B) {
+	var e Engine
+	r := &benchRunner{}
+	for i := 0; i < 64; i++ {
+		e.ScheduleRunner(uint64(1+i%7), r)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.ScheduleRunner(uint64(1+i%7), r)
+		e.Step()
+	}
+}
+
+// BenchmarkScheduleFireFar exercises the overflow heap: every delay is
+// past the near-wheel horizon, so events migrate heap→wheel before
+// firing. Still 0 allocs/op.
+func BenchmarkScheduleFireFar(b *testing.B) {
+	var e Engine
+	r := &benchRunner{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.ScheduleRunner(wheelSize+uint64(i%100), r)
+		e.Step()
+	}
+}
