@@ -1,14 +1,17 @@
-// Command benchdiff compares two chats-bench/v1 JSON files (written by
-// `chats-experiments -bench-json`) cell by cell: wall clock, heap
-// allocations, and allocations per simulated cycle.
+// Command benchdiff compares two bench trajectories cell by cell: wall
+// clock, heap allocations, and allocations per simulated cycle. Inputs
+// are chats-bench/v1 or /v2 JSON files (written by `chats-experiments
+// -bench-json`), or a baseline pulled straight from a run-store
+// database by commit.
 //
 // Usage:
 //
 //	benchdiff OLD.json NEW.json
 //	benchdiff -max-alloc-regress 10 BENCH_j1.json new.json   # CI gate
+//	benchdiff -store runs/ -baseline abc123def456 new.json   # store baseline
 //
 // Because the simulator is deterministic, a SimCycles mismatch between
-// the two files for the same cell means the runs were not bit-identical
+// the two sides for the same cell means the runs were not bit-identical
 // — benchdiff reports it and exits nonzero regardless of flags.
 package main
 
@@ -21,6 +24,7 @@ import (
 	"sort"
 
 	"chats/internal/experiments"
+	"chats/internal/runstore"
 )
 
 func main() {
@@ -28,21 +32,42 @@ func main() {
 		"fail (exit 1) if any common cell's allocs grew by more than this percentage (0 = report only)")
 	allocSlack := flag.Uint64("alloc-slack", 5000,
 		"absolute alloc headroom per cell before -max-alloc-regress applies (absorbs runtime noise on tiny cells)")
+	storeDir := flag.String("store", "",
+		"run-store directory to read the baseline from (with -baseline, replaces OLD.json)")
+	baseline := flag.String("baseline", "",
+		"commit whose newest store records form the baseline (requires -store)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: benchdiff [flags] OLD.json NEW.json\n")
+		fmt.Fprintf(os.Stderr, "       benchdiff [flags] -store DIR -baseline COMMIT NEW.json\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if flag.NArg() != 2 {
-		flag.Usage()
-		os.Exit(2)
+	if (*storeDir == "") != (*baseline == "") {
+		fatal(fmt.Errorf("-store and -baseline must be used together"))
 	}
 
-	oldRep, err := load(flag.Arg(0))
+	var (
+		oldRep *experiments.BenchReport
+		err    error
+	)
+	wantArgs := 2
+	if *storeDir != "" {
+		wantArgs = 1
+		oldRep, err = loadStoreBaseline(*storeDir, *baseline)
+	}
 	if err != nil {
 		fatal(err)
 	}
-	newRep, err := load(flag.Arg(1))
+	if flag.NArg() != wantArgs {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if oldRep == nil {
+		if oldRep, err = load(flag.Arg(0)); err != nil {
+			fatal(err)
+		}
+	}
+	newRep, err := load(flag.Arg(flag.NArg() - 1))
 	if err != nil {
 		fatal(err)
 	}
@@ -61,10 +86,45 @@ func load(path string) (*experiments.BenchReport, error) {
 	if err := json.NewDecoder(f).Decode(&rep); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	if rep.Schema != "chats-bench/v1" {
-		return nil, fmt.Errorf("%s: unsupported schema %q (want chats-bench/v1)", path, rep.Schema)
+	if rep.Schema != "chats-bench/v1" && rep.Schema != experiments.BenchSchema {
+		return nil, fmt.Errorf("%s: unsupported schema %q (want chats-bench/v1 or %s)",
+			path, rep.Schema, experiments.BenchSchema)
 	}
 	return &rep, nil
+}
+
+// loadStoreBaseline synthesizes the OLD side from the run database: the
+// newest record per cell among the given commit's runs.
+func loadStoreBaseline(dir, commit string) (*experiments.BenchReport, error) {
+	s, err := runstore.Open(dir, runstore.Options{})
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	recs := s.Runs(runstore.Query{Commit: commit})
+	if len(recs) == 0 {
+		known := s.Commits()
+		return nil, fmt.Errorf("store %s has no records for commit %q (known commits: %v)", dir, commit, known)
+	}
+	latest := make(map[string]runstore.Record, len(recs))
+	for _, r := range recs {
+		latest[r.Cell()] = r // Runs is ID-ordered: later wins
+	}
+	rep := &experiments.BenchReport{
+		Schema: experiments.BenchSchema,
+		Commit: commit,
+		Runs:   len(latest),
+	}
+	for cell, r := range latest {
+		rep.Cells = append(rep.Cells, experiments.CellBench{
+			Cell:        cell,
+			SimCycles:   r.SimCycles,
+			WallclockNS: r.WallclockNS,
+			Allocs:      r.Allocs,
+		})
+	}
+	sort.Slice(rep.Cells, func(i, j int) bool { return rep.Cells[i].Cell < rep.Cells[j].Cell })
+	return rep, nil
 }
 
 // diff prints the per-cell comparison and returns the process exit code.

@@ -22,6 +22,7 @@ import (
 	"chats/internal/experiments"
 	"chats/internal/faults"
 	"chats/internal/machine"
+	"chats/internal/runstore"
 	"chats/internal/stats"
 	"chats/internal/telemetry"
 	"chats/internal/workloads"
@@ -39,6 +40,8 @@ func main() {
 		profSys   = flag.String("profile-system", "chats", "system to profile with -profile")
 		jobs      = flag.Int("j", runtime.NumCPU(), "simulation cells to run in parallel (results are identical at any -j)")
 		benchJSON = flag.String("bench-json", "", "write a machine-readable bench trajectory {cell, simcycles, wallclock_ns, allocs} to this file")
+		storeDir  = flag.String("store", "", "record every simulation into the run database at this directory")
+		progress  = flag.Bool("progress", false, "print a live done/total cell count to stderr while each grid runs")
 		soak      = flag.Bool("faults-soak", false, "instead of figures, run every system × micro bench under the fault plan with invariants and the watchdog on")
 		faultSpec = flag.String("faults", "", "fault spec for -faults-soak (default: the canonical all-kinds soak plan)")
 		fuzzN     = flag.Int("fuzz-smoke", 0, "instead of figures, differentially fuzz N seeded random programs across all systems (0 = off)")
@@ -84,6 +87,18 @@ func main() {
 	p.Machine.Seed = *seed
 	if *verbose {
 		p.Verbose = os.Stderr
+	}
+	if *progress {
+		p.Progress = stderrProgress
+	}
+	meta := runstore.NowMeta()
+	if *storeDir != "" {
+		store, err := runstore.Open(*storeDir, runstore.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		defer store.Close()
+		p.Recorder = store.Recorder(meta, "experiments")
 	}
 	suite := experiments.NewSuite(p)
 	start := time.Now()
@@ -188,7 +203,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := suite.WriteBenchJSON(f, *jobs, time.Since(start)); err != nil {
+		if err := suite.WriteBenchJSON(f, *jobs, time.Since(start), meta); err != nil {
 			fatal(err)
 		}
 		if err := f.Close(); err != nil {
@@ -253,6 +268,15 @@ func runProfile(bench, system string, sz workloads.Size, seed uint64) error {
 	col.Chain().Fprint(os.Stdout)
 	col.Reg.Fprint(os.Stdout)
 	return nil
+}
+
+// stderrProgress redraws a done/total cell count in place, closing the
+// line when the grid completes (the sweep pool serializes calls).
+func stderrProgress(done, total int) {
+	fmt.Fprintf(os.Stderr, "\rcells: %d/%d", done, total)
+	if done == total {
+		fmt.Fprintln(os.Stderr)
+	}
 }
 
 func fatal(err error) {

@@ -1,0 +1,254 @@
+package main
+
+import (
+	_ "embed"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"chats"
+	"chats/internal/runstore"
+	"chats/internal/workloads"
+)
+
+//go:embed dashboard.html
+var dashboardHTML []byte
+
+// server wires the run database, the job manager and the SSE broker
+// behind one http.Handler. All state lives in those three; handlers are
+// stateless translators.
+type server struct {
+	store  *runstore.Store
+	jobs   *jobManager
+	broker *broker
+	mux    *http.ServeMux
+}
+
+func newServer(store *runstore.Store, workers int) *server {
+	b := newBroker()
+	s := &server{
+		store:  store,
+		jobs:   newJobManager(store, b, workers),
+		broker: b,
+		mux:    http.NewServeMux(),
+	}
+	s.mux.HandleFunc("/", s.handleIndex)
+	s.mux.HandleFunc("/api/runs", s.handleRuns)
+	s.mux.HandleFunc("/api/run", s.handleRun)
+	s.mux.HandleFunc("/api/trends", s.handleTrends)
+	s.mux.HandleFunc("/api/commits", s.handleCommits)
+	s.mux.HandleFunc("/api/meta", s.handleMeta)
+	s.mux.HandleFunc("/api/jobs", s.handleJobs)
+	s.mux.HandleFunc("/api/sweep", s.handleSweep)
+	s.mux.HandleFunc("/api/events", s.handleEvents)
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Write(dashboardHTML)
+}
+
+// runSummary is the list-view projection of a Record: identity and cost
+// plus headline counters, with the heavy telemetry payloads replaced by
+// a has_telemetry flag — the drill-down fetches the full record by ID.
+type runSummary struct {
+	ID           uint64  `json:"id"`
+	Commit       string  `json:"commit"`
+	TimestampUTC string  `json:"timestamp_utc"`
+	Seed         uint64  `json:"seed"`
+	System       string  `json:"system"`
+	Workload     string  `json:"workload"`
+	Config       string  `json:"config,omitempty"`
+	Size         string  `json:"size,omitempty"`
+	Source       string  `json:"source,omitempty"`
+	SimCycles    uint64  `json:"simcycles"`
+	WallclockNS  int64   `json:"wallclock_ns"`
+	Allocs       uint64  `json:"allocs"`
+	Commits      uint64  `json:"commits"`
+	Aborts       uint64  `json:"aborts"`
+	AbortRate    float64 `json:"abort_rate"`
+	HasTelemetry bool    `json:"has_telemetry"`
+}
+
+func summarize(r runstore.Record) runSummary {
+	var commits, aborts uint64
+	if r.Counters != nil {
+		commits, aborts = r.Counters["commits"], r.Counters["aborts"]
+	}
+	return runSummary{
+		ID:           r.ID,
+		Commit:       r.Commit,
+		TimestampUTC: r.TimestampUTC,
+		Seed:         r.Seed,
+		System:       r.System,
+		Workload:     r.Workload,
+		Config:       r.Config,
+		Size:         r.Size,
+		Source:       r.Source,
+		SimCycles:    r.SimCycles,
+		WallclockNS:  r.WallclockNS,
+		Allocs:       r.Allocs,
+		Commits:      commits,
+		Aborts:       aborts,
+		AbortRate:    r.AbortRate(),
+		HasTelemetry: len(r.Hists) > 0 || len(r.HotLines) > 0 || r.Chain != nil,
+	}
+}
+
+func (s *server) handleRuns(w http.ResponseWriter, r *http.Request) {
+	q := runstore.Query{
+		Commit:   r.URL.Query().Get("commit"),
+		System:   r.URL.Query().Get("system"),
+		Workload: r.URL.Query().Get("workload"),
+		Source:   r.URL.Query().Get("source"),
+	}
+	if lim := r.URL.Query().Get("limit"); lim != "" {
+		n, err := strconv.Atoi(lim)
+		if err != nil || n < 0 {
+			httpError(w, http.StatusBadRequest, "bad limit %q", lim)
+			return
+		}
+		q.Limit = n
+	}
+	recs := s.store.Runs(q)
+	out := make([]runSummary, len(recs))
+	for i, rec := range recs {
+		out[i] = summarize(rec)
+	}
+	writeJSON(w, out)
+}
+
+func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseUint(r.URL.Query().Get("id"), 10, 64)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad id %q", r.URL.Query().Get("id"))
+		return
+	}
+	rec, ok := s.store.Get(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no run %d", id)
+		return
+	}
+	writeJSON(w, rec)
+}
+
+func (s *server) handleTrends(w http.ResponseWriter, r *http.Request) {
+	q := runstore.Query{
+		System:   r.URL.Query().Get("system"),
+		Workload: r.URL.Query().Get("workload"),
+		Source:   r.URL.Query().Get("source"),
+	}
+	writeJSON(w, s.store.Trends(q))
+}
+
+func (s *server) handleCommits(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.store.Commits())
+}
+
+// handleMeta serves the dashboard's form vocabulary: the canonical
+// system order (also the fixed chart-color order), workload names and
+// sizes.
+func (s *server) handleMeta(w http.ResponseWriter, r *http.Request) {
+	systems := make([]string, 0, len(chats.Systems()))
+	for _, k := range chats.Systems() {
+		systems = append(systems, string(k))
+	}
+	writeJSON(w, map[string]any{
+		"systems":   systems,
+		"workloads": workloads.Names(),
+		"sizes":     []string{"tiny", "small", "medium"},
+		"store":     s.store.Dir(),
+	})
+}
+
+func (s *server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.jobs.Snapshot())
+}
+
+func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req sweepRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	j, err := s.jobs.Start(req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	w.WriteHeader(http.StatusAccepted)
+	writeJSON(w, j)
+}
+
+// handleEvents is the SSE stream. Each connection gets a hello event
+// with the current store/job snapshot (so a reconnecting dashboard
+// re-syncs without racing the stream), then live progress/run/job
+// events until the client goes away or the server shuts down.
+func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+
+	ch, cancel := s.broker.Subscribe()
+	defer cancel()
+
+	hello, _ := json.Marshal(map[string]any{
+		"runs":    s.store.Len(),
+		"commits": s.store.Commits(),
+		"jobs":    s.jobs.Snapshot(),
+	})
+	fmt.Fprintf(w, "event: hello\ndata: %s\n\n", hello)
+	fl.Flush()
+
+	keepalive := time.NewTicker(15 * time.Second)
+	defer keepalive.Stop()
+	for {
+		select {
+		case ev, ok := <-ch:
+			if !ok {
+				return // broker closed: server shutting down
+			}
+			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.name, ev.data)
+			fl.Flush()
+		case <-keepalive.C:
+			fmt.Fprint(w, ": keepalive\n\n")
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are gone; nothing to do but note it server-side.
+		fmt.Printf("chats-serve: encoding response: %v\n", err)
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}

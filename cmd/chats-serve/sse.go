@@ -1,0 +1,87 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// event is one server-sent event: a name and a pre-marshaled JSON
+// payload, formatted on the wire as "event: <name>\ndata: <json>\n\n".
+type event struct {
+	name string
+	data []byte
+}
+
+// broker fans events out to every connected SSE subscriber. Publishing
+// never blocks: a subscriber whose buffer is full (a stalled client)
+// silently drops events — the dashboard re-syncs from the REST
+// endpoints, so a dropped progress tick costs nothing but smoothness.
+type broker struct {
+	mu     sync.Mutex
+	subs   map[chan event]struct{}
+	closed bool
+}
+
+func newBroker() *broker {
+	return &broker{subs: make(map[chan event]struct{})}
+}
+
+// Subscribe registers a new subscriber and returns its channel plus a
+// cancel function. The channel is closed by cancel or by broker.Close;
+// receivers must treat channel close as end-of-stream.
+func (b *broker) Subscribe() (<-chan event, func()) {
+	ch := make(chan event, 64)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		close(ch)
+		return ch, func() {}
+	}
+	b.subs[ch] = struct{}{}
+	cancel := func() {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		if _, ok := b.subs[ch]; ok {
+			delete(b.subs, ch)
+			close(ch)
+		}
+	}
+	return ch, cancel
+}
+
+// Publish marshals v and delivers it to every subscriber that has
+// buffer room.
+func (b *broker) Publish(name string, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chats-serve: dropping %s event: %v\n", name, err)
+		return
+	}
+	ev := event{name: name, data: data}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for ch := range b.subs {
+		select {
+		case ch <- ev:
+		default: // slow client: drop rather than stall the publisher
+		}
+	}
+}
+
+// Close ends every subscription; subsequent Subscribes get an
+// already-closed channel. Used at shutdown so SSE handlers return and
+// stop holding connections open.
+func (b *broker) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for ch := range b.subs {
+		delete(b.subs, ch)
+		close(ch)
+	}
+}

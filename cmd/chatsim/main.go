@@ -22,12 +22,14 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"time"
 
 	"chats"
 	"chats/internal/experiments"
 	"chats/internal/faults"
 	"chats/internal/htm"
 	"chats/internal/invariant"
+	"chats/internal/runstore"
 	"chats/internal/sweep"
 	"chats/internal/telemetry"
 	"chats/internal/workloads"
@@ -63,6 +65,8 @@ func main() {
 		fuzzBreak   = flag.Bool("fuzz-break", false, "oracle self-test: break CHATS validation on purpose; the fuzz campaign must catch it")
 		repro       = flag.String("repro", "", "replay one rp1 spec (or @file) through the differential oracle and exit")
 		doSweep     = flag.Bool("sweep", false, "run a (systems × benches) grid instead of a single cell")
+		storeDir    = flag.String("store", "", "record the run (or every sweep cell) into the run database at this directory")
+		progress    = flag.Bool("progress", false, "with -sweep: print a live done/total cell count to stderr")
 		sweepSys    = flag.String("systems", "", "comma-separated systems for -sweep (default: all)")
 		sweepBench  = flag.String("benches", "", "comma-separated benchmarks for -sweep (default: all)")
 		jobs        = flag.Int("j", runtime.NumCPU(), "cells to run in parallel with -sweep (results are identical at any -j)")
@@ -127,8 +131,18 @@ func main() {
 		return
 	}
 
+	var store *runstore.Store
+	if *storeDir != "" {
+		var err error
+		store, err = runstore.Open(*storeDir, runstore.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		defer store.Close()
+	}
+
 	if *doSweep {
-		if err := runSweep(cfg, *sweepSys, *sweepBench, *size, *jobs, *retries, *vsb, *valInterval, *jsonOut, *invariants); err != nil {
+		if err := runSweep(cfg, *sweepSys, *sweepBench, *size, *jobs, *retries, *vsb, *valInterval, *jsonOut, *invariants, store, *progress); err != nil {
 			fatal(err)
 		}
 		return
@@ -185,6 +199,7 @@ func main() {
 	}
 
 	var st chats.Stats
+	cost := beginCost()
 	switch len(tracers) {
 	case 0:
 		st, err = chats.Run(cfg, w)
@@ -193,8 +208,16 @@ func main() {
 	default:
 		st, err = chats.RunWithTracer(cfg, w, tracers)
 	}
+	wallNS, allocs := cost.finish()
 	if err != nil {
 		fatal(err)
+	}
+	if store != nil {
+		rec := runstore.FromStats(st, string(cfg.System), cfg.Machine.Seed, experiments.TraitsKey(cfg.Traits), *size, wallNS, allocs)
+		if col != nil {
+			runstore.AttachTelemetry(&rec, col, 16)
+		}
+		store.Recorder(runstore.NowMeta(), "chatsim")(rec)
 	}
 	if chk != nil {
 		if verr := chk.Err(); verr != nil {
@@ -233,11 +256,33 @@ func main() {
 	printStats(st)
 }
 
+// runCost measures host wall clock and heap allocations around one
+// simulation, mirroring experiments.cellBenchRec. Mallocs is
+// process-wide, so at -j > 1 the per-cell delta includes allocations of
+// concurrently running cells; at -j 1 it is exact.
+type runCost struct {
+	start   time.Time
+	mallocs uint64
+}
+
+func beginCost() runCost {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return runCost{start: time.Now(), mallocs: ms.Mallocs}
+}
+
+func (c runCost) finish() (wallNS int64, allocs uint64) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return time.Since(c.start).Nanoseconds(), ms.Mallocs - c.mallocs
+}
+
 // runSweep fans a (systems × benches) grid out over -j goroutines. Each
 // cell builds its own config and workload, so the printed statistics are
 // bit-identical at any -j; only wall clock changes. Results print in
-// grid order (system-major) regardless of completion order.
-func runSweep(base chats.Config, systems, benches, size string, jobs, retries, vsb, valInterval int, jsonOut, invariants bool) error {
+// grid order (system-major) regardless of completion order. With a
+// store attached, every cell is persisted as one record.
+func runSweep(base chats.Config, systems, benches, size string, jobs, retries, vsb, valInterval int, jsonOut, invariants bool, store *runstore.Store, progress bool) error {
 	var kinds []chats.SystemKind
 	if systems == "" {
 		kinds = chats.Systems()
@@ -299,13 +344,27 @@ func runSweep(base chats.Config, systems, benches, size string, jobs, retries, v
 		}
 	}
 
+	var record func(runstore.Record)
+	if store != nil {
+		record = store.Recorder(runstore.NowMeta(), "sweep")
+	}
+	var prog sweep.Progress
+	if progress {
+		prog = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\rcells: %d/%d", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
 	results := make([]chats.Stats, len(cells))
-	err = sweep.Map(jobs, len(cells), nil, func(i int) error {
+	err = sweep.Map(jobs, len(cells), prog, func(i int) error {
 		w, err := workloads.New(cells[i].bench, sz)
 		if err != nil {
 			return err
 		}
 		var st chats.Stats
+		cost := beginCost()
 		if invariants {
 			// One fresh checker per cell: a Checker is per-run state.
 			chk := invariant.New()
@@ -316,8 +375,13 @@ func runSweep(base chats.Config, systems, benches, size string, jobs, retries, v
 		} else {
 			st, err = chats.Run(cells[i].cfg, w)
 		}
+		wallNS, allocs := cost.finish()
 		if err != nil {
 			return fmt.Errorf("%s on %s: %w", cells[i].cfg.System, cells[i].bench, err)
+		}
+		if record != nil {
+			record(runstore.FromStats(st, string(cells[i].cfg.System), cells[i].cfg.Machine.Seed,
+				experiments.TraitsKey(cells[i].cfg.Traits), size, wallNS, allocs))
 		}
 		results[i] = st
 		return nil

@@ -10,6 +10,7 @@ import (
 
 	"chats/internal/core"
 	"chats/internal/htm"
+	"chats/internal/runstore"
 )
 
 // CellBench records the cost of one simulation cell: simulated cycles,
@@ -28,6 +29,12 @@ type BenchReport struct {
 	// Schema names the document layout so downstream tooling can detect
 	// incompatible changes.
 	Schema string `json:"schema"`
+	// Commit, TimestampUTC and GoVersion identify the build the
+	// trajectory was measured on (new in chats-bench/v2; empty when
+	// reading v1 history).
+	Commit       string `json:"commit,omitempty"`
+	TimestampUTC string `json:"timestamp_utc,omitempty"`
+	GoVersion    string `json:"go_version,omitempty"`
 	// Workers is the -j value the sweep ran under. Note that with
 	// Workers > 1 the per-cell Allocs and WallclockNS figures include
 	// interference from concurrently running cells (Mallocs is a
@@ -39,8 +46,10 @@ type BenchReport struct {
 	Cells            []CellBench `json:"cells"`
 }
 
-// benchSchema identifies the current BenchReport layout.
-const benchSchema = "chats-bench/v1"
+// BenchSchema identifies the current BenchReport layout. v2 adds the
+// commit/timestamp_utc/go_version header; readers (benchdiff, runstore
+// import) keep accepting v1.
+const BenchSchema = "chats-bench/v2"
 
 // cellBenchRec is an in-flight measurement for one simulation.
 type cellBenchRec struct {
@@ -85,8 +94,9 @@ func cellName(kind core.Kind, traits *htm.Traits, bench string, seed uint64, lab
 
 // WriteBenchJSON emits the bench trajectory of every simulation the
 // suite has executed, sorted by cell name so the output is stable
-// regardless of sweep scheduling.
-func (s *Suite) WriteBenchJSON(w io.Writer, workers int, total time.Duration) error {
+// regardless of sweep scheduling. meta stamps the v2 header fields
+// (runstore.NowMeta() for live runs).
+func (s *Suite) WriteBenchJSON(w io.Writer, workers int, total time.Duration, meta runstore.Meta) error {
 	s.mu.Lock()
 	cells := make([]CellBench, len(s.bench))
 	copy(cells, s.bench)
@@ -94,7 +104,10 @@ func (s *Suite) WriteBenchJSON(w io.Writer, workers int, total time.Duration) er
 	s.mu.Unlock()
 	sort.Slice(cells, func(i, j int) bool { return cells[i].Cell < cells[j].Cell })
 	rep := BenchReport{
-		Schema:           benchSchema,
+		Schema:           BenchSchema,
+		Commit:           meta.Commit,
+		TimestampUTC:     meta.TimestampUTC,
+		GoVersion:        meta.GoVersion,
 		Workers:          workers,
 		Size:             s.p.Size.String(),
 		Runs:             runs,

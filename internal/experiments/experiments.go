@@ -14,6 +14,7 @@ import (
 	"chats/internal/htm"
 	"chats/internal/invariant"
 	"chats/internal/machine"
+	"chats/internal/runstore"
 	"chats/internal/stats"
 	"chats/internal/sweep"
 	"chats/internal/workloads"
@@ -54,6 +55,17 @@ type Params struct {
 	// CellCycleBudget, when non-zero, overrides Machine.CycleLimit per
 	// cell so soak runs bound their worst case.
 	CellCycleBudget uint64
+	// Progress, when non-nil, receives live done/total updates while a
+	// figure grid primes (the CLIs wire -progress here). Each grid
+	// restarts the count; calls are serialized by the sweep pool.
+	Progress sweep.Progress
+	// Recorder, when non-nil, receives one runstore.Record per completed
+	// simulation — the persistence seam the -store flags hook up
+	// (runstore.Store.Recorder stamps commit metadata and appends).
+	// Called from worker goroutines, so it must be safe for concurrent
+	// use; recording is per-run, never per-event, so it costs the
+	// simulation hot path nothing.
+	Recorder func(runstore.Record)
 }
 
 // DefaultParams returns the figure-regeneration setup.
@@ -119,13 +131,23 @@ func (s *Suite) prime(cells []cell) error {
 	if len(todo) == 0 {
 		return nil
 	}
-	var progress sweep.Progress
+	var verbose sweep.Progress
 	if s.p.Verbose != nil && s.p.Workers > 1 {
-		progress = func(done, total int) {
+		verbose = func(done, total int) {
 			s.mu.Lock() // all Verbose writes go through s.mu
 			fmt.Fprintf(s.p.Verbose, "sweep: %d/%d cells\n", done, total)
 			s.mu.Unlock()
 		}
+	}
+	progress := verbose
+	switch {
+	case s.p.Progress != nil && verbose != nil:
+		progress = func(done, total int) {
+			verbose(done, total)
+			s.p.Progress(done, total)
+		}
+	case s.p.Progress != nil:
+		progress = s.p.Progress
 	}
 	return sweep.Map(s.p.Workers, len(todo), progress, func(i int) error {
 		_, err := s.Run(todo[i].kind, todo[i].traits, todo[i].bench)
@@ -140,6 +162,12 @@ func traitsKey(t *htm.Traits) string {
 	return fmt.Sprintf("r%d-v%d-i%d-f%d-n%d-p%v",
 		t.Retries, t.VSBSize, t.ValidationInterval, t.ForwardMode, t.NaiveBudget, t.UsesPower)
 }
+
+// TraitsKey is the canonical fingerprint of trait overrides ("" for the
+// Table II defaults) — the Config component of a run-store key, shared
+// by every entry point so records from chatsim and the figure suite
+// land under the same identity.
+func TraitsKey(t *htm.Traits) string { return traitsKey(t) }
 
 // Run simulates one (system, traits, bench) cell, memoized, averaging
 // over Params.Seeds seeds. Safe for concurrent use; callers that need a
@@ -237,6 +265,10 @@ func (s *Suite) runOnce(kind core.Kind, traits *htm.Traits, bench string, seed u
 		return machine.RunStats{}, fmt.Errorf("cell %s (seed %d): %w", name, seed, err)
 	}
 	rec.finish(st.Cycles)
+	if s.p.Recorder != nil {
+		s.p.Recorder(runstore.FromStats(st, string(kind), seed, traitsKey(traits),
+			s.p.Size.String(), rec.bench.WallclockNS, rec.bench.Allocs))
+	}
 	s.mu.Lock()
 	s.Runs++
 	s.bench = append(s.bench, rec.bench)

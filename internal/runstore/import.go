@@ -1,0 +1,85 @@
+package runstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// benchDoc mirrors the chats-bench file layout without importing
+// internal/experiments (which itself depends on runstore). v1 files
+// carry no header meta; v2 adds commit/timestamp_utc/go_version.
+type benchDoc struct {
+	Schema       string `json:"schema"`
+	Commit       string `json:"commit"`
+	TimestampUTC string `json:"timestamp_utc"`
+	GoVersion    string `json:"go_version"`
+	Workers      int    `json:"workers"`
+	Size         string `json:"size"`
+	Cells        []struct {
+		Cell        string `json:"cell"`
+		SimCycles   uint64 `json:"simcycles"`
+		WallclockNS int64  `json:"wallclock_ns"`
+		Allocs      uint64 `json:"allocs"`
+	} `json:"cells"`
+}
+
+// ImportBench loads a chats-bench/v1 or /v2 trajectory file and appends
+// one record per cell, so committed BENCH_*.json history joins the
+// cross-commit trend views. For v1 files (no header meta) the commit
+// defaults to the file's base name; v2 headers win over the fallback.
+// Returns the number of records appended.
+func (s *Store) ImportBench(path string) (int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, fmt.Errorf("runstore: %w", err)
+	}
+	var doc benchDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return 0, fmt.Errorf("runstore: %s: %w", path, err)
+	}
+	if doc.Schema != "chats-bench/v1" && doc.Schema != "chats-bench/v2" {
+		return 0, fmt.Errorf("runstore: %s: unsupported schema %q (want chats-bench/v1 or /v2)", path, doc.Schema)
+	}
+	meta := Meta{Commit: doc.Commit, TimestampUTC: doc.TimestampUTC, GoVersion: doc.GoVersion}
+	if meta.Commit == "" {
+		meta.Commit = strings.TrimSuffix(filepath.Base(path), ".json")
+	}
+	source := "import:" + filepath.Base(path)
+	n := 0
+	for _, c := range doc.Cells {
+		system, workload, config := splitCell(c.Cell)
+		r := Record{
+			Meta:        meta,
+			System:      system,
+			Workload:    workload,
+			Config:      config,
+			Size:        doc.Size,
+			Source:      source,
+			SimCycles:   c.SimCycles,
+			WallclockNS: c.WallclockNS,
+			Allocs:      c.Allocs,
+		}
+		if _, err := s.Append(r); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// splitCell decomposes a chats-bench cell name
+// ("system/workload[/traits][/seed=N]") into its identity parts.
+func splitCell(cell string) (system, workload, config string) {
+	parts := strings.SplitN(cell, "/", 3)
+	system = parts[0]
+	if len(parts) > 1 {
+		workload = parts[1]
+	}
+	if len(parts) > 2 {
+		config = parts[2]
+	}
+	return system, workload, config
+}

@@ -1,0 +1,376 @@
+package runstore
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Options tune a Store.
+type Options struct {
+	// SegmentBytes rotates the active segment once it grows past this
+	// size (0 = 8 MiB). Rotation bounds the work a torn-tail recovery
+	// scan has to redo and keeps individual files manageable.
+	SegmentBytes int64
+}
+
+const defaultSegmentBytes = 8 << 20
+
+// Store is the embedded run database: append-only JSONL segments on
+// disk plus a full in-memory index. All methods are safe for concurrent
+// use; appends are serialized, queries return copies of the index
+// entries (the nested slices/maps are shared and must be treated as
+// read-only by callers).
+type Store struct {
+	dir string
+	opt Options
+
+	mu      sync.Mutex
+	seg     *os.File // active segment (nil after Close)
+	segSize int64
+	segIdx  int
+	nextID  uint64
+	recs    []Record // insertion == ID order
+	closed  bool
+}
+
+// Open opens (creating if needed) the store directory and replays every
+// segment into the in-memory index. A torn final record — the only
+// corruption a crash mid-append can leave behind — is truncated away;
+// corruption anywhere else is reported as an error.
+func Open(dir string, opt Options) (*Store, error) {
+	if opt.SegmentBytes <= 0 {
+		opt.SegmentBytes = defaultSegmentBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("runstore: %w", err)
+	}
+	s := &Store{dir: dir, opt: opt}
+	names, err := s.segments()
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range names {
+		// Only the newest segment can legally carry a torn tail: older
+		// segments were sealed by rotation.
+		if err := s.replay(name, i == len(names)-1); err != nil {
+			return nil, err
+		}
+	}
+	if len(names) > 0 {
+		last := names[len(names)-1]
+		fmt.Sscanf(filepath.Base(last), "seg-%06d.jsonl", &s.segIdx)
+		f, err := os.OpenFile(last, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("runstore: %w", err)
+		}
+		st, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("runstore: %w", err)
+		}
+		s.seg, s.segSize = f, st.Size()
+	}
+	for i := range s.recs {
+		if s.recs[i].ID >= s.nextID {
+			s.nextID = s.recs[i].ID + 1
+		}
+	}
+	return s, nil
+}
+
+// segments lists the segment files in name (= creation) order.
+func (s *Store) segments() ([]string, error) {
+	names, err := filepath.Glob(filepath.Join(s.dir, "seg-*.jsonl"))
+	if err != nil {
+		return nil, fmt.Errorf("runstore: %w", err)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// replay decodes one segment into the index. With truncate set, a torn
+// tail record (no trailing newline, or a final line that is not valid
+// JSON) is dropped and the file is truncated back to the last good
+// record boundary.
+func (s *Store) replay(path string, truncate bool) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("runstore: %w", err)
+	}
+	good := int64(0) // offset just past the last fully-decoded record
+	rest := data
+	for len(rest) > 0 {
+		nl := bytes.IndexByte(rest, '\n')
+		if nl < 0 {
+			break // torn: no newline terminator
+		}
+		line := rest[:nl]
+		var r Record
+		if len(bytes.TrimSpace(line)) > 0 {
+			if err := json.Unmarshal(line, &r); err != nil {
+				if truncate && int64(nl+1) == int64(len(rest)) {
+					break // torn final line (partial flush that happened to end in \n)
+				}
+				return fmt.Errorf("runstore: %s: corrupt record at offset %d: %w",
+					path, good, err)
+			}
+			s.recs = append(s.recs, r)
+		}
+		good += int64(nl + 1)
+		rest = rest[nl+1:]
+	}
+	if int64(len(data)) > good {
+		if !truncate {
+			return fmt.Errorf("runstore: %s: torn record in sealed segment at offset %d", path, good)
+		}
+		if err := os.Truncate(path, good); err != nil {
+			return fmt.Errorf("runstore: truncating torn tail of %s: %w", path, err)
+		}
+	}
+	return nil
+}
+
+// Append assigns the record an ID, persists it to the active segment
+// and indexes it. The write is flushed to the OS before Append returns,
+// so a crash can tear at most the record being appended.
+func (s *Store) Append(r Record) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, fmt.Errorf("runstore: store is closed")
+	}
+	if s.seg == nil || s.segSize >= s.opt.SegmentBytes {
+		if err := s.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	r.ID = s.nextID
+	line, err := json.Marshal(r)
+	if err != nil {
+		return 0, fmt.Errorf("runstore: %w", err)
+	}
+	line = append(line, '\n')
+	if _, err := s.seg.Write(line); err != nil {
+		return 0, fmt.Errorf("runstore: %w", err)
+	}
+	s.segSize += int64(len(line))
+	s.nextID++
+	s.recs = append(s.recs, r)
+	return r.ID, nil
+}
+
+// rotateLocked seals the active segment and starts the next one.
+func (s *Store) rotateLocked() error {
+	if s.seg != nil {
+		if err := s.seg.Close(); err != nil {
+			return fmt.Errorf("runstore: %w", err)
+		}
+	}
+	s.segIdx++
+	path := filepath.Join(s.dir, fmt.Sprintf("seg-%06d.jsonl", s.segIdx))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("runstore: %w", err)
+	}
+	s.seg, s.segSize = f, 0
+	return nil
+}
+
+// Close seals the active segment. Further Appends fail; queries keep
+// working from the in-memory index.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	if s.seg == nil {
+		return nil
+	}
+	err := s.seg.Close()
+	s.seg = nil
+	if err != nil {
+		return fmt.Errorf("runstore: %w", err)
+	}
+	return nil
+}
+
+// Dir returns the store directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Len returns the number of indexed records.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.recs)
+}
+
+// Query filters Runs. Zero-value fields match everything.
+type Query struct {
+	Commit   string
+	System   string
+	Workload string
+	Source   string
+	// Limit keeps only the newest N matches (0 = all).
+	Limit int
+}
+
+func (q Query) matches(r *Record) bool {
+	return (q.Commit == "" || q.Commit == r.Commit) &&
+		(q.System == "" || q.System == r.System) &&
+		(q.Workload == "" || q.Workload == r.Workload) &&
+		(q.Source == "" || q.Source == r.Source)
+}
+
+// Runs returns the matching records in ID (= insertion) order.
+func (s *Store) Runs(q Query) []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Record
+	for i := range s.recs {
+		if q.matches(&s.recs[i]) {
+			out = append(out, s.recs[i])
+		}
+	}
+	if q.Limit > 0 && len(out) > q.Limit {
+		out = out[len(out)-q.Limit:]
+	}
+	return out
+}
+
+// Get returns the record with the given ID.
+func (s *Store) Get(id uint64) (Record, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.recs {
+		if s.recs[i].ID == id {
+			return s.recs[i], true
+		}
+	}
+	return Record{}, false
+}
+
+// Commits returns the distinct commits in first-recorded order — the
+// x-axis of every trend view.
+func (s *Store) Commits() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return commitsLocked(s.recs)
+}
+
+func commitsLocked(recs []Record) []string {
+	var out []string
+	seen := make(map[string]bool)
+	for i := range recs {
+		if c := recs[i].Commit; !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// TrendPoint aggregates every record of one commit within a
+// (system, workload) group: arithmetic means of the cost fields, so
+// multi-seed cells fold into one point.
+type TrendPoint struct {
+	Commit       string  `json:"commit"`
+	TimestampUTC string  `json:"timestamp_utc,omitempty"`
+	Runs         int     `json:"runs"`
+	SimCycles    float64 `json:"simcycles"`
+	WallclockNS  float64 `json:"wallclock_ns"`
+	Allocs       float64 `json:"allocs"`
+	AbortRate    float64 `json:"abort_rate"`
+}
+
+// Trend is the cross-commit series of one (system, workload) group.
+type Trend struct {
+	System   string       `json:"system"`
+	Workload string       `json:"workload"`
+	Points   []TrendPoint `json:"points"`
+}
+
+// Trends groups the store by (system, workload) and, within each group,
+// orders one aggregated point per commit in first-recorded order.
+// Groups come back sorted by system then workload so output is
+// deterministic.
+func (s *Store) Trends(q Query) []Trend {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	commitOrder := commitsLocked(s.recs)
+	type group struct {
+		byCommit map[string][]*Record
+	}
+	groups := make(map[[2]string]*group)
+	for i := range s.recs {
+		r := &s.recs[i]
+		if !q.matches(r) {
+			continue
+		}
+		gk := [2]string{r.System, r.Workload}
+		g, ok := groups[gk]
+		if !ok {
+			g = &group{byCommit: make(map[string][]*Record)}
+			groups[gk] = g
+		}
+		g.byCommit[r.Commit] = append(g.byCommit[r.Commit], r)
+	}
+	keys := make([][2]string, 0, len(groups))
+	for gk := range groups {
+		keys = append(keys, gk)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	out := make([]Trend, 0, len(keys))
+	for _, gk := range keys {
+		g := groups[gk]
+		tr := Trend{System: gk[0], Workload: gk[1]}
+		for _, c := range commitOrder {
+			recs := g.byCommit[c]
+			if len(recs) == 0 {
+				continue
+			}
+			p := TrendPoint{Commit: c, Runs: len(recs), TimestampUTC: recs[0].TimestampUTC}
+			var aborts, execs uint64
+			for _, r := range recs {
+				p.SimCycles += float64(r.SimCycles)
+				p.WallclockNS += float64(r.WallclockNS)
+				p.Allocs += float64(r.Allocs)
+				aborts += r.counter("aborts")
+				execs += r.counter("aborts") + r.counter("commits")
+			}
+			n := float64(len(recs))
+			p.SimCycles /= n
+			p.WallclockNS /= n
+			p.Allocs /= n
+			if execs > 0 {
+				p.AbortRate = float64(aborts) / float64(execs)
+			}
+			tr.Points = append(tr.Points, p)
+		}
+		out = append(out, tr)
+	}
+	return out
+}
+
+// Recorder returns a per-run callback that stamps meta and source onto
+// each record and appends it — the shape experiments.Params.Recorder
+// and the CLI `-store` wiring expect. Append failures are reported on
+// stderr rather than aborting the producing run: losing one database
+// row must not kill a half-finished sweep.
+func (s *Store) Recorder(meta Meta, source string) func(Record) {
+	return func(r Record) {
+		r.Meta = meta
+		r.Source = source
+		if _, err := s.Append(r); err != nil {
+			fmt.Fprintf(os.Stderr, "runstore: dropping record for %s/%s: %v\n", r.System, r.Workload, err)
+		}
+	}
+}

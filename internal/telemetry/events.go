@@ -122,10 +122,19 @@ func (e Event) appendJSON(b []byte) []byte {
 	return append(b, '}', '\n')
 }
 
-// WriteJSONL writes the retained event stream as JSON Lines, one event
+// TraceSchema names the JSONL trace layout; the header line every
+// export starts with carries it so stored traces are self-describing.
+const TraceSchema = "chats-trace/v1"
+
+// WriteJSONL writes the retained event stream as JSON Lines: a schema
+// header line first ({"schema":"chats-trace/v1",...}), then one event
 // per line in emission order. If the event buffer was capped, a final
-// meta line reports how many events were dropped.
+// meta line additionally reports how many events were dropped.
 func (c *Collector) WriteJSONL(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, `{"schema":%q,"events":%d,"dropped":%d}`+"\n",
+		TraceSchema, len(c.Events), c.Dropped); err != nil {
+		return err
+	}
 	buf := make([]byte, 0, 256)
 	for _, e := range c.Events {
 		buf = e.appendJSON(buf[:0])

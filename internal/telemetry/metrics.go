@@ -95,6 +95,35 @@ func (r *Registry) Series(name string) *stats.Series {
 	return s
 }
 
+// AllHistograms returns every registered histogram sorted by name, for
+// exporters that persist the full distribution set (runstore).
+func (r *Registry) AllHistograms() []*stats.Histogram {
+	out := make([]*stats.Histogram, 0, len(r.hists))
+	for _, k := range sortedKeys(r.hists) {
+		out = append(out, r.hists[k])
+	}
+	return out
+}
+
+// AllSeries returns every registered cycle-windowed series sorted by
+// name.
+func (r *Registry) AllSeries() []*stats.Series {
+	out := make([]*stats.Series, 0, len(r.series))
+	for _, k := range sortedKeys(r.series) {
+		out = append(out, r.series[k])
+	}
+	return out
+}
+
+// CounterValues returns a name → count snapshot of every counter.
+func (r *Registry) CounterValues() map[string]uint64 {
+	out := make(map[string]uint64, len(r.counters))
+	for k, c := range r.counters {
+		out[k] = c.N
+	}
+	return out
+}
+
 func sortedKeys[V any](m map[string]V) []string {
 	ks := make([]string, 0, len(m))
 	for k := range m {

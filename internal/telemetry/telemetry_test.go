@@ -125,11 +125,25 @@ func TestWriteJSONL(t *testing.T) {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
-	if len(lines) != len(c.Events) {
-		t.Fatalf("%d lines for %d events", len(lines), len(c.Events))
+	if len(lines) != len(c.Events)+1 {
+		t.Fatalf("%d lines for %d events + header", len(lines), len(c.Events))
 	}
-	// Every line must be a standalone JSON object with the shared fields.
-	for i, ln := range lines {
+	// The first line is the schema header that makes stored traces
+	// self-describing.
+	var hdr struct {
+		Schema  string `json:"schema"`
+		Events  int    `json:"events"`
+		Dropped uint64 `json:"dropped"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &hdr); err != nil {
+		t.Fatalf("header not JSON: %v\n%s", err, lines[0])
+	}
+	if hdr.Schema != TraceSchema || hdr.Events != len(c.Events) || hdr.Dropped != 0 {
+		t.Errorf("header = %+v, want schema %q with %d events", hdr, TraceSchema, len(c.Events))
+	}
+	// Every event line must be a standalone JSON object with the shared
+	// fields.
+	for i, ln := range lines[1:] {
 		var m map[string]any
 		if err := json.Unmarshal([]byte(ln), &m); err != nil {
 			t.Fatalf("line %d not JSON: %v\n%s", i, err, ln)
@@ -143,8 +157,8 @@ func TestWriteJSONL(t *testing.T) {
 	// Spot-check the exact rendering of a forward (field order is part of
 	// the format contract — the golden test depends on it).
 	want := `{"cycle":150,"kind":"forward","core":0,"peer":1,"line":"0x80","pic":15}`
-	if lines[4] != want {
-		t.Errorf("forward line = %s, want %s", lines[4], want)
+	if lines[5] != want {
+		t.Errorf("forward line = %s, want %s", lines[5], want)
 	}
 }
 
