@@ -145,6 +145,22 @@ func build(cfg Config) (*machine.Machine, error) {
 	return machine.New(cfg.Machine, policy)
 }
 
+// EffectiveIntraWorkers reports the engine worker count Run will use for
+// cfg: Machine.IntraWorkers, clamped to 1 (the serial engine) when the
+// run is forced serial — traced reports whether any tracer, telemetry
+// collector or invariant checker will be attached; fault injection,
+// watchdog/starvation diagnostics and PowerTM-token systems force serial
+// on their own. Record producers use it to stamp the engine mode.
+func EffectiveIntraWorkers(cfg Config, traced bool) int {
+	usesPower := false
+	if cfg.Traits != nil {
+		usesPower = cfg.Traits.UsesPower
+	} else if t, err := SystemTraits(cfg.System); err == nil {
+		usesPower = t.UsesPower
+	}
+	return machine.EffectiveIntraWorkers(cfg.Machine, traced, usesPower)
+}
+
 // SystemTraits returns the Table II default traits of a system.
 func SystemTraits(k SystemKind) (Traits, error) {
 	p, err := core.New(k)

@@ -173,8 +173,9 @@ func diff(w *os.File, oldRep, newRep *experiments.BenchReport, maxRegress float6
 			allocRatios = append(allocRatios, allocR)
 		}
 	}
-	fmt.Fprintf(w, "\ngeomean: %.2fx wall clock, %.2fx allocs (old/new, >1 = new is better) over %d cells\n",
-		geomean(wallRatios), geomean(allocRatios), len(names))
+	fmt.Fprintf(w, "%-34s %11s %11s %6.2fx %12s %12s %6.2fx %9s\n",
+		"geomean", "", "", geomean(wallRatios), "", "", geomean(allocRatios), "")
+	fmt.Fprintf(w, "\ngeomean over %d common cells (old/new, >1 = new is better)\n", len(names))
 	fmt.Fprintf(w, "total wall clock: %.1fs -> %.1fs (old -j %d, new -j %d)\n",
 		float64(oldRep.TotalWallclockNS)/1e9, float64(newRep.TotalWallclockNS)/1e9,
 		oldRep.Workers, newRep.Workers)

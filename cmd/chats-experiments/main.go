@@ -14,7 +14,6 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"runtime"
 	"strings"
 	"time"
 
@@ -24,6 +23,7 @@ import (
 	"chats/internal/machine"
 	"chats/internal/runstore"
 	"chats/internal/stats"
+	"chats/internal/sweep"
 	"chats/internal/telemetry"
 	"chats/internal/workloads"
 )
@@ -38,10 +38,12 @@ func main() {
 		csvDir    = flag.String("csv", "", "also write each table as CSV into this directory")
 		profile   = flag.String("profile", "", "instead of figures, profile one benchmark under telemetry (hot lines, chain topology, metrics)")
 		profSys   = flag.String("profile-system", "chats", "system to profile with -profile")
-		jobs      = flag.Int("j", runtime.NumCPU(), "simulation cells to run in parallel (results are identical at any -j)")
+		jobs      = flag.Int("j", 0, "simulation cells to run in parallel (0 = host cores / intra-j; results are identical at any -j)")
+		intraJobs = flag.Int("intra-j", 1, "engine workers inside each simulation: same-cycle events of distinct cores run concurrently (results are identical at any -intra-j; 1 = serial engine)")
 		benchJSON = flag.String("bench-json", "", "write a machine-readable bench trajectory {cell, simcycles, wallclock_ns, allocs} to this file")
 		storeDir  = flag.String("store", "", "record every simulation into the run database at this directory")
 		progress  = flag.Bool("progress", false, "print a live done/total cell count to stderr while each grid runs")
+		benchBig  = flag.Bool("bench-large", false, "instead of figures, run the large-machine (64-core) bench grid serially and write it with -bench-json — pair -intra-j 1 and -intra-j 4 runs to measure intra-run parallelism")
 		soak      = flag.Bool("faults-soak", false, "instead of figures, run every system × micro bench under the fault plan with invariants and the watchdog on")
 		faultSpec = flag.String("faults", "", "fault spec for -faults-soak (default: the canonical all-kinds soak plan)")
 		fuzzN     = flag.Int("fuzz-smoke", 0, "instead of figures, differentially fuzz N seeded random programs across all systems (0 = off)")
@@ -50,6 +52,10 @@ func main() {
 		memProf   = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
+
+	// Cell-level and intra-run parallelism multiply: budget the pool so
+	// cells × engine workers roughly matches the host core count.
+	cellJobs := sweep.Budget(*jobs, *intraJobs)
 
 	stopProf, err := startProfiles(*cpuProf, *memProf)
 	if err != nil {
@@ -62,8 +68,9 @@ func main() {
 		fatal(err)
 	}
 	if *fuzzN > 0 {
-		p := experiments.Params{Size: sz, Machine: machine.DefaultConfig(), Workers: *jobs}
+		p := experiments.Params{Size: sz, Machine: machine.DefaultConfig(), Workers: cellJobs}
 		p.Machine.Seed = *seed
+		p.Machine.IntraWorkers = *intraJobs
 		rep := experiments.FuzzSmoke(p, *fuzzSeed, *fuzzN)
 		experiments.WriteFuzzReport(os.Stdout, rep)
 		if !rep.Ok() {
@@ -77,14 +84,24 @@ func main() {
 		}
 		return
 	}
-	if *soak {
-		if err := runSoak(sz, *seed, *jobs, *faultSpec, *verbose); err != nil {
+	if *benchBig {
+		if *benchJSON == "" {
+			fatal(fmt.Errorf("-bench-large needs -bench-json FILE"))
+		}
+		if err := runLargeBench(sz, *seed, *intraJobs, *benchJSON); err != nil {
 			fatal(err)
 		}
 		return
 	}
-	p := experiments.Params{Size: sz, Machine: machine.DefaultConfig(), Seeds: *seeds, Workers: *jobs}
+	if *soak {
+		if err := runSoak(sz, *seed, cellJobs, *faultSpec, *verbose); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	p := experiments.Params{Size: sz, Machine: machine.DefaultConfig(), Seeds: *seeds, Workers: cellJobs}
 	p.Machine.Seed = *seed
+	p.Machine.IntraWorkers = *intraJobs
 	if *verbose {
 		p.Verbose = os.Stderr
 	}
@@ -203,7 +220,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := suite.WriteBenchJSON(f, *jobs, time.Since(start), meta); err != nil {
+		if err := suite.WriteBenchJSON(f, cellJobs, time.Since(start), meta); err != nil {
 			fatal(err)
 		}
 		if err := f.Close(); err != nil {
@@ -211,6 +228,33 @@ func main() {
 		}
 	}
 	fmt.Fprintf(os.Stderr, "total simulations: %d\n", suite.Runs)
+}
+
+// runLargeBench runs the 64-core bench grid one cell at a time (the
+// wall-clock and alloc numbers are the point, so nothing else may run
+// concurrently) and writes the trajectory. Diff an -intra-j 1 run
+// against an -intra-j 4 run with benchdiff to see the intra-run
+// speedup.
+func runLargeBench(sz workloads.Size, seed uint64, intra int, out string) error {
+	p := experiments.Params{Size: sz, Machine: machine.DefaultConfig(), Workers: 1}
+	p.Machine.Seed = seed
+	p.Machine.Cores = experiments.LargeBenchCores
+	p.Machine.IntraWorkers = intra
+	suite := experiments.NewSuite(p)
+	start := time.Now()
+	if err := suite.RunLargeBench(); err != nil {
+		return err
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := suite.WriteBenchJSON(f, 1, time.Since(start), runstore.NowMeta()); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "large bench: %d cells at %d cores, intra-j %d -> %s\n",
+		suite.Runs, experiments.LargeBenchCores, intra, out)
+	return f.Close()
 }
 
 // runSoak runs the fault soak: every system × micro bench under the

@@ -69,7 +69,8 @@ func main() {
 		progress    = flag.Bool("progress", false, "with -sweep: print a live done/total cell count to stderr")
 		sweepSys    = flag.String("systems", "", "comma-separated systems for -sweep (default: all)")
 		sweepBench  = flag.String("benches", "", "comma-separated benchmarks for -sweep (default: all)")
-		jobs        = flag.Int("j", runtime.NumCPU(), "cells to run in parallel with -sweep (results are identical at any -j)")
+		jobs        = flag.Int("j", 0, "cells to run in parallel with -sweep (0 = host cores / intra-j; results are identical at any -j)")
+		intraJobs   = flag.Int("intra-j", 1, "engine workers per run: same-cycle events of distinct cores execute concurrently (results are identical at any -intra-j; 1 = serial engine)")
 		dumpConfig  = flag.Bool("dump-config", false, "print Table I and exit")
 		dumpSystems = flag.Bool("dump-systems", false, "print Table II and exit")
 		list        = flag.Bool("list", false, "list benchmarks and systems and exit")
@@ -89,6 +90,7 @@ func main() {
 	cfg.Machine.Cores = *cores
 	cfg.Machine.WatchdogCycles = *wdCycles
 	cfg.Machine.MaxAttempts = *maxAttempts
+	cfg.Machine.IntraWorkers = *intraJobs
 	if *faultSpec != "" {
 		spec := *faultSpec
 		if spec == "soak" {
@@ -117,8 +119,12 @@ func main() {
 		return
 	}
 
+	// -j and -intra-j multiply; budget the cell pool around the engine
+	// workers each cell will run so the host is not oversubscribed.
+	cellJobs := sweep.Budget(*jobs, *intraJobs)
+
 	if *fuzzN > 0 {
-		if err := runFuzz(cfg, *fuzzN, *fuzzSeed, *size, *sweepSys, *jobs,
+		if err := runFuzz(cfg, *fuzzN, *fuzzSeed, *size, *sweepSys, cellJobs,
 			*fuzzBudget, *minimize, *reproOut, *fuzzBreak, *jsonOut); err != nil {
 			fatal(err)
 		}
@@ -142,7 +148,7 @@ func main() {
 	}
 
 	if *doSweep {
-		if err := runSweep(cfg, *sweepSys, *sweepBench, *size, *jobs, *retries, *vsb, *valInterval, *jsonOut, *invariants, store, *progress); err != nil {
+		if err := runSweep(cfg, *sweepSys, *sweepBench, *size, cellJobs, *retries, *vsb, *valInterval, *jsonOut, *invariants, store, *progress); err != nil {
 			fatal(err)
 		}
 		return
@@ -214,6 +220,7 @@ func main() {
 	}
 	if store != nil {
 		rec := runstore.FromStats(st, string(cfg.System), cfg.Machine.Seed, experiments.TraitsKey(cfg.Traits), *size, wallNS, allocs)
+		rec.StampEngine(chats.EffectiveIntraWorkers(cfg, len(tracers) > 0))
 		if col != nil {
 			runstore.AttachTelemetry(&rec, col, 16)
 		}
@@ -380,8 +387,10 @@ func runSweep(base chats.Config, systems, benches, size string, jobs, retries, v
 			return fmt.Errorf("%s on %s: %w", cells[i].cfg.System, cells[i].bench, err)
 		}
 		if record != nil {
-			record(runstore.FromStats(st, string(cells[i].cfg.System), cells[i].cfg.Machine.Seed,
-				experiments.TraitsKey(cells[i].cfg.Traits), size, wallNS, allocs))
+			rec := runstore.FromStats(st, string(cells[i].cfg.System), cells[i].cfg.Machine.Seed,
+				experiments.TraitsKey(cells[i].cfg.Traits), size, wallNS, allocs)
+			rec.StampEngine(chats.EffectiveIntraWorkers(cells[i].cfg, invariants))
+			record(rec)
 		}
 		results[i] = st
 		return nil

@@ -58,7 +58,13 @@ type dirLine struct {
 // Directory is the home node for every line: MESI state, the LLC/memory
 // data image, and the blocking request queue per line.
 type Directory struct {
-	eng    *sim.Engine
+	eng *sim.Engine
+	// sched stamps the directory's internal flow events with its domain.
+	// Today that is the engine's serial domain — every directory event
+	// runs alone under intra-run parallelism — but all internal
+	// scheduling goes through this seam so per-bank domains only need a
+	// handle per bank, not another call-site audit.
+	sched  sim.Sched
 	net    *network.Network
 	memory *mem.Memory
 	cores  []Core
@@ -89,6 +95,7 @@ type Directory struct {
 func NewDirectory(eng *sim.Engine, net *network.Network, memory *mem.Memory, cfg Config) *Directory {
 	return &Directory{
 		eng:    eng,
+		sched:  eng.NewSched(sim.DomainSerial),
 		net:    net,
 		memory: memory,
 		cfg:    cfg,
@@ -513,7 +520,7 @@ func (d *Directory) startNext(l *dirLine) {
 		m.line = next.line
 		m.req = next.req
 		m.h = next.resp
-		d.eng.ScheduleRunner(0, m)
+		d.sched.ScheduleRunner(0, m)
 	}
 }
 
@@ -574,7 +581,7 @@ func (d *Directory) GetS(lineAddr mem.Addr, req ReqInfo, resp RespHandler) {
 		m.isX = false
 		m.core = l.owner
 	}
-	d.eng.ScheduleRunner(lat, m)
+	d.sched.ScheduleRunner(lat, m)
 }
 
 // GetX handles a write (or upgrade) request from core req.ID.
@@ -614,7 +621,7 @@ func (d *Directory) GetX(lineAddr mem.Addr, req ReqInfo, resp RespHandler) {
 	case l.state == dirS:
 		m.op = mCollect
 	}
-	d.eng.ScheduleRunner(lat, m)
+	d.sched.ScheduleRunner(lat, m)
 }
 
 // collectInvs sends invalidation probes to every sharer except the

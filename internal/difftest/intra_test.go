@@ -1,0 +1,155 @@
+package difftest_test
+
+import (
+	"fmt"
+	"testing"
+
+	"chats/internal/coherence"
+	"chats/internal/core"
+	"chats/internal/htm"
+	"chats/internal/machine"
+	"chats/internal/mem"
+	"chats/internal/randprog"
+)
+
+// Serial-vs-parallel engine equivalence over random programs: every
+// committed corpus entry plus a fresh generated batch runs with
+// IntraWorkers ∈ {1, 2, 8}, and the parallel runs must reproduce the
+// serial run bit-for-bit — the full comparable RunStats (cycles, every
+// commit/abort/decision counter, flits) and the final shared + private
+// memory image. No tracer is attached: a tracer forces the serial
+// engine, and the test would compare serial against itself.
+//
+// Power-token systems (Power, PCHATS) are excluded: they force serial
+// on their own, which TestIntraForcedSerial in internal/machine pins.
+func intraSystems() []core.Kind {
+	return []core.Kind{core.KindBaseline, core.KindNaiveRS, core.KindCHATS, core.KindLEVC}
+}
+
+// runWorkers executes p on one system with the given engine worker
+// count and returns the stats plus the flushed memory image (shared
+// slots, then per-core private slots).
+func runWorkers(t *testing.T, p *randprog.Program, kind core.Kind, workers int) (machine.RunStats, []uint64) {
+	t.Helper()
+	policy, err := core.New(kind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := machine.DefaultConfig()
+	cfg.CycleLimit = 200_000_000
+	cfg.Cores = p.Cores
+	cfg.IntraWorkers = workers
+	m, err := machine.New(cfg, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := randprog.NewWorkload(p)
+	st, err := m.Run(w)
+	if err != nil {
+		t.Fatalf("IntraWorkers=%d: %v", workers, err)
+	}
+	if got := m.IntraWorkers(); got != workers {
+		t.Fatalf("run used %d engine workers, configured %d", got, workers)
+	}
+	mem := m.World().Mem
+	img := make([]uint64, 0, p.Pool+p.Cores*p.Priv)
+	for i := 0; i < p.Pool; i++ {
+		img = append(img, mem.ReadWord(w.SlotAddr(i)))
+	}
+	for c := 0; c < p.Cores; c++ {
+		for k := 0; k < p.Priv; k++ {
+			img = append(img, mem.ReadWord(w.PrivAddr(c, k)))
+		}
+	}
+	return st, img
+}
+
+// checkIntra runs p at workers 1, 2 and 8 on one system and fails on
+// the first divergence from the serial run.
+func checkIntra(t *testing.T, p *randprog.Program, kind core.Kind) {
+	t.Helper()
+	ref, refImg := runWorkers(t, p, kind, 1)
+	for _, workers := range []int{2, 8} {
+		st, img := runWorkers(t, p, kind, workers)
+		if st != ref {
+			t.Errorf("IntraWorkers=%d stats diverged from serial:\nserial:   %+v\nparallel: %+v",
+				workers, ref, st)
+		}
+		for i := range refImg {
+			if img[i] != refImg[i] {
+				t.Errorf("IntraWorkers=%d memory slot %d = %d, serial run has %d",
+					workers, i, img[i], refImg[i])
+			}
+		}
+	}
+}
+
+// TestIntraCorpusEquivalence replays every committed corpus program on
+// the parallel-capable systems at each worker count.
+func TestIntraCorpusEquivalence(t *testing.T) {
+	for name, p := range loadCorpus(t) {
+		for _, kind := range intraSystems() {
+			p, kind := p, kind
+			t.Run(name+"/"+string(kind), func(t *testing.T) {
+				t.Parallel()
+				checkIntra(t, p, kind)
+			})
+		}
+	}
+}
+
+// nopTracer is the minimal machine.Tracer: attaching any tracer —
+// telemetry collector, trace writer, invariant checker — must force the
+// engine serial, so traced output is identical at any -intra-j.
+type nopTracer struct{}
+
+func (nopTracer) TxBegin(uint64, int, int, bool)                    {}
+func (nopTracer) TxCommit(uint64, int, int)                         {}
+func (nopTracer) TxAbort(uint64, int, htm.AbortCause)               {}
+func (nopTracer) Forward(uint64, int, int, mem.Addr, coherence.PiC) {}
+func (nopTracer) Consume(uint64, int, mem.Addr, coherence.PiC)      {}
+func (nopTracer) Validate(uint64, int, mem.Addr, bool)              {}
+func (nopTracer) Fallback(uint64, int)                              {}
+
+// TestIntraTracerForcesSerial pins the tracer half of the gating rule.
+func TestIntraTracerForcesSerial(t *testing.T) {
+	p := randprog.Generate(1000, randprog.Preset(0))
+	policy, err := core.New(core.KindCHATS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := machine.DefaultConfig()
+	cfg.CycleLimit = 200_000_000
+	cfg.Cores = p.Cores
+	cfg.IntraWorkers = 8
+	m, err := machine.New(cfg, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetTracer(nopTracer{})
+	if _, err := m.Run(randprog.NewWorkload(p)); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.IntraWorkers(); got != 1 {
+		t.Errorf("traced run used %d engine workers, want forced serial", got)
+	}
+}
+
+// TestIntraFuzzEquivalence does the same over a fresh generated batch —
+// fixed seeds, so failures reproduce; systems rotate through the batch
+// so every parallel-capable system sees several distinct programs.
+func TestIntraFuzzEquivalence(t *testing.T) {
+	g := randprog.Preset(0)
+	g.AddFrac = 0.5 // mix blind stores in: order-sensitive coverage
+	kinds := intraSystems()
+	const n = 12
+	for i := 0; i < n; i++ {
+		seed := uint64(1000 + i)
+		p := randprog.Generate(seed, g)
+		kind := kinds[i%len(kinds)]
+		t.Run(fmt.Sprintf("seed%d/%s", seed, kind), func(t *testing.T) {
+			t.Parallel()
+			checkIntra(t, p, kind)
+		})
+	}
+}

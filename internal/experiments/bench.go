@@ -92,6 +92,33 @@ func cellName(kind core.Kind, traits *htm.Traits, bench string, seed uint64, lab
 	return name
 }
 
+// largeBenches are the workloads of the large-machine bench grid:
+// the linked-list benches carry most of the wall clock and, with every
+// core busy each cycle, most of the same-cycle event parallelism the
+// intra-run engine can exploit; the rest anchor contended and mixed
+// behavior at 64 cores.
+var largeBenches = []string{"llb-l", "llb-h", "kmeans-l", "kmeans-h", "cadd", "vacation"}
+
+// LargeBenchCores is the machine width of the large-machine bench grid
+// (the Config.Validate maximum).
+const LargeBenchCores = 64
+
+// RunLargeBench executes the large-machine bench grid — baseline and
+// CHATS on every large bench — so WriteBenchJSON captures the cells.
+// The suite's Params.Machine should already carry LargeBenchCores and
+// the IntraWorkers under test; cells run through the normal memoizing
+// Run path.
+func (s *Suite) RunLargeBench() error {
+	for _, kind := range []core.Kind{core.KindBaseline, core.KindCHATS} {
+		for _, bench := range largeBenches {
+			if _, err := s.Run(kind, nil, bench); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 // WriteBenchJSON emits the bench trajectory of every simulation the
 // suite has executed, sorted by cell name so the output is stable
 // regardless of sweep scheduling. meta stamps the v2 header fields

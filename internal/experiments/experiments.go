@@ -266,8 +266,10 @@ func (s *Suite) runOnce(kind core.Kind, traits *htm.Traits, bench string, seed u
 	}
 	rec.finish(st.Cycles)
 	if s.p.Recorder != nil {
-		s.p.Recorder(runstore.FromStats(st, string(kind), seed, traitsKey(traits),
-			s.p.Size.String(), rec.bench.WallclockNS, rec.bench.Allocs))
+		r := runstore.FromStats(st, string(kind), seed, traitsKey(traits),
+			s.p.Size.String(), rec.bench.WallclockNS, rec.bench.Allocs)
+		r.StampEngine(m.IntraWorkers())
+		s.p.Recorder(r)
 	}
 	s.mu.Lock()
 	s.Runs++

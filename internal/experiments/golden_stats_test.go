@@ -9,6 +9,7 @@ import (
 	"sort"
 	"testing"
 
+	"chats/internal/machine"
 	"chats/internal/workloads"
 )
 
@@ -66,6 +67,44 @@ func withinBand(got, want uint64, frac float64, slack uint64) bool {
 		lo = 0
 	}
 	return got >= lo && got <= hi
+}
+
+// runMatrixStats runs the Tiny-size main matrix with the given engine
+// worker count and returns the full RunStats per cell.
+func runMatrixStats(t *testing.T, workers int) map[string]machine.RunStats {
+	t.Helper()
+	p := Params{Size: workloads.Tiny, Machine: machine.DefaultConfig()}
+	p.Machine.CycleLimit = 200_000_000
+	p.Machine.IntraWorkers = workers
+	s := NewSuite(p)
+	out := make(map[string]machine.RunStats)
+	for _, kind := range mainSystems() {
+		for _, bench := range workloads.AllNames() {
+			st, err := s.Run(kind, nil, bench)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", kind, bench, err)
+			}
+			out[goldenKey(string(kind), bench)] = st
+		}
+	}
+	return out
+}
+
+// TestGoldenStatsIntraParallel re-runs the main matrix with the
+// parallel engine (IntraWorkers=4) and demands bit-exact RunStats
+// agreement with the serial matrix, cell by cell — a stronger gate than
+// the golden tolerance bands, and one -update-golden cannot silence.
+// Power-token systems inside the matrix force themselves serial, which
+// the comparison covers for free.
+func TestGoldenStatsIntraParallel(t *testing.T) {
+	serial := runMatrixStats(t, 1)
+	parallel := runMatrixStats(t, 4)
+	for key, ref := range serial {
+		if got := parallel[key]; got != ref {
+			t.Errorf("%s: IntraWorkers=4 diverged from serial:\nserial:   %+v\nparallel: %+v",
+				key, ref, got)
+		}
+	}
 }
 
 // TestGoldenStats is the statistics regression gate: the Tiny-size

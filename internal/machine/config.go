@@ -81,6 +81,15 @@ type Config struct {
 	// block; a transaction beginning attempt MaxAttempts+1 trips the
 	// watchdog with a starvation diagnostic. Zero means unlimited.
 	MaxAttempts int
+
+	// IntraWorkers selects the simulation engine's intra-run parallelism:
+	// same-cycle events of distinct cores execute concurrently on this
+	// many goroutines, with results bit-identical to the serial engine.
+	// 0 or 1 means the serial engine (the zero-overhead default). Runs
+	// that need global observation or control — tracers, the event ring
+	// (watchdog/starvation diagnostics), fault injection, PowerTM — are
+	// forced serial regardless.
+	IntraWorkers int
 }
 
 // DefaultConfig returns the Table I machine.
@@ -121,6 +130,9 @@ func (c Config) Validate() error {
 	}
 	if c.MaxAttempts < 0 {
 		return fmt.Errorf("machine: MaxAttempts must be non-negative, got %d", c.MaxAttempts)
+	}
+	if c.IntraWorkers < 0 {
+		return fmt.Errorf("machine: IntraWorkers must be non-negative, got %d", c.IntraWorkers)
 	}
 	if c.Faults != nil {
 		if err := c.Faults.Validate(); err != nil {

@@ -1,0 +1,83 @@
+package machine
+
+import (
+	"testing"
+
+	"chats/internal/core"
+)
+
+// Serial-vs-parallel bit-equivalence oracle at the machine level: the
+// same workload run with IntraWorkers ∈ {1, 2, 8} must produce exactly
+// the same RunStats (the comparable struct covers commit/abort counts,
+// every decision counter, cycles, flits and messages). Run under -race
+// in CI this also exercises the engine's worker-pool memory discipline.
+
+func runIntra(t *testing.T, kind core.Kind, mk func() Workload, workers int) RunStats {
+	t.Helper()
+	cfg := testCfg()
+	cfg.IntraWorkers = workers
+	return runWL(t, kind, mk(), cfg)
+}
+
+func TestIntraParallelEquivalence(t *testing.T) {
+	cases := []struct {
+		name string
+		kind core.Kind
+		mk   func() Workload
+	}{
+		{"counter-chats", core.KindCHATS, func() Workload { return &counterWL{iters: 30} }},
+		{"counter-baseline", core.KindBaseline, func() Workload { return &counterWL{iters: 30} }},
+		{"bank-chats", core.KindCHATS, func() Workload { return &bankWL{accounts: 64, iters: 40} }},
+		{"migratory-chats", core.KindCHATS, func() Workload { return &migratoryWL{slots: 4, iters: 25} }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ref := runIntra(t, tc.kind, tc.mk, 1)
+			for _, workers := range []int{2, 8} {
+				got := runIntra(t, tc.kind, tc.mk, workers)
+				if got != ref {
+					t.Errorf("IntraWorkers=%d diverged from serial:\nserial:   %+v\nparallel: %+v",
+						workers, ref, got)
+				}
+			}
+		})
+	}
+}
+
+// TestIntraForcedSerial pins the gating rule: configurations that need
+// the strict serial order (here PowerTM, which arbitrates a global
+// token) silently fall back to one worker.
+func TestIntraForcedSerial(t *testing.T) {
+	policy, err := core.New(core.KindPower)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testCfg()
+	cfg.IntraWorkers = 4
+	m, err := New(cfg, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(&counterWL{iters: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.IntraWorkers(); got != 1 {
+		t.Errorf("PowerTM run used %d workers, want forced serial", got)
+	}
+
+	// A plain CHATS run keeps the requested worker count.
+	policy2, err := core.New(core.KindCHATS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := New(cfg, policy2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m2.Run(&counterWL{iters: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m2.IntraWorkers(); got != 4 {
+		t.Errorf("CHATS run used %d workers, want 4", got)
+	}
+}

@@ -150,11 +150,53 @@ func (m *Machine) releasePower(id int) {
 	m.powerHolder = -1
 }
 
+// EffectiveIntraWorkers reports the engine worker count a Run with this
+// configuration will use: cfg.IntraWorkers, clamped to 1 (the serial
+// engine) whenever the run needs the strict serial total order and
+// direct machine access from every event — a tracer or checker attached
+// (traced), fault injection, the diagnostic event ring (watchdog or
+// starvation bounds), or a PowerTM-token system (usesPower). Exported so
+// record producers can stamp the engine mode without holding a Machine.
+func EffectiveIntraWorkers(cfg Config, traced, usesPower bool) int {
+	if cfg.IntraWorkers <= 1 {
+		return 1
+	}
+	if traced || usesPower ||
+		(cfg.Faults != nil && cfg.Faults.Enabled()) ||
+		cfg.WatchdogCycles > 0 || cfg.MaxAttempts > 0 {
+		return 1
+	}
+	return cfg.IntraWorkers
+}
+
+// forceSerial reports whether this run must use the serial engine even
+// when cfg.IntraWorkers > 1.
+func (m *Machine) forceSerial() bool {
+	traced := m.tracer != nil || m.xtracer != nil || m.optracer != nil ||
+		m.ftracer != nil || m.checker != nil
+	return EffectiveIntraWorkers(m.cfg, traced, m.policy.Traits().UsesPower) == 1
+}
+
+// progress sums the commit/fallback counters across the node shards;
+// the livelock watchdog uses it as its forward-progress measure.
+func (m *Machine) progress() uint64 {
+	var p uint64
+	for _, n := range m.nodes {
+		p += n.stats.Commits + n.stats.Fallbacks
+	}
+	return p
+}
+
 // Run executes the workload to completion and returns the collected
 // statistics. Threads min(cfg.Cores, requested) are spawned — one per
 // core.
 func (m *Machine) Run(w Workload) (RunStats, error) {
 	m.stats.Workload = w.Name()
+	workers := m.cfg.IntraWorkers
+	if workers > 1 && m.forceSerial() {
+		workers = 1
+	}
+	m.eng.SetWorkers(workers)
 	w.Setup(m.world, m.cfg.Cores)
 	if m.checker != nil {
 		m.checker.BeginRun(m)
@@ -183,14 +225,16 @@ func (m *Machine) Run(w Workload) (RunStats, error) {
 
 func (m *Machine) collectStats() {
 	m.stats.Cycles = m.eng.Now()
+	for _, n := range m.nodes {
+		m.stats.addShard(&n.stats)
+		m.net.AddShard(&n.ep.Stats)
+		m.stats.L1Hits += n.l1.Stats.Hits
+		m.stats.L1Misses += n.l1.Stats.Misses
+	}
 	m.stats.Flits = m.net.Stats.Flits
 	m.stats.Messages = m.net.Stats.Messages
 	m.stats.DirFwds = m.dir.Stats.Forwards
 	m.stats.DirInvs = m.dir.Stats.Invs
-	for _, n := range m.nodes {
-		m.stats.L1Hits += n.l1.Stats.Hits
-		m.stats.L1Misses += n.l1.Stats.Misses
-	}
 }
 
 // flushCaches writes every dirty line back to the memory image so
@@ -219,3 +263,8 @@ func (m *Machine) flushCaches() {
 
 // Stats returns the statistics collected so far.
 func (m *Machine) Stats() RunStats { return m.stats }
+
+// IntraWorkers returns the engine worker count the last Run used
+// (1 = serial). Kept out of RunStats so serial and parallel runs stay
+// bit-comparable; runstore stamps it into record metadata instead.
+func (m *Machine) IntraWorkers() int { return m.eng.Workers() }

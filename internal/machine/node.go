@@ -5,6 +5,7 @@ import (
 	"chats/internal/coherence"
 	"chats/internal/htm"
 	"chats/internal/mem"
+	"chats/internal/network"
 	"chats/internal/sim"
 )
 
@@ -47,8 +48,14 @@ func (wb *pendingWB) Run() {
 }
 
 // Node is one core: private L1, HTM state, the VSB validation controller
-// and the probe handler. All methods run at engine time (single
-// goroutine); completion callbacks are invoked at engine time too.
+// and the probe handler. All methods run at engine time; completion
+// callbacks are invoked at engine time too. Under intra-run parallelism
+// the node's core-side events (demand accesses, thread timers, commit
+// replies) run in the node's own domain and may execute concurrently
+// with other nodes' same-cycle events, while everything delivered at the
+// directory — requests, writebacks, probes, validation — runs in the
+// serial domain. Node state is therefore only ever touched by the node's
+// own domain or by serial events (which run alone).
 type Node struct {
 	id     int
 	m      *Machine
@@ -56,6 +63,15 @@ type Node struct {
 	tx     *htm.TxState
 	policy htm.Policy
 	rng    *sim.Rand
+
+	// sched stamps core-side events with the node's domain (1 + core id);
+	// ep is the node's private network endpoint with its own flit/message
+	// counters. stats is the node's RunStats shard: counters incremented
+	// from node-domain or serial events land here and are folded into the
+	// machine totals by collectStats.
+	sched sim.Sched
+	ep    network.Endpoint
+	stats RunStats
 
 	wbPending map[mem.Addr]*pendingWB
 	// wbFree recycles pendingWB objects once their delivery message has
@@ -104,6 +120,8 @@ func newNode(id int, m *Machine, policy htm.Policy) *Node {
 		rng:       sim.NewRand(m.cfg.Seed*1000003 + uint64(id) + 1),
 		wbPending: make(map[mem.Addr]*pendingWB),
 	}
+	n.sched = m.eng.NewSched(sim.Domain(1 + id))
+	n.ep = m.net.NewEndpoint(n.sched)
 	n.acc.n = n
 	n.beg.n = n
 	n.val.n = n
@@ -147,7 +165,7 @@ func (n *Node) handleVictim(v *cache.Victim) {
 		wb.tag = v.Tag
 		wb.data = v.Data
 		n.wbPending[v.Tag] = wb
-		n.m.net.SendDataMsg(wb)
+		n.ep.SendDataMsg(sim.DomainSerial, wb)
 	}
 	// Clean lines (E, M-clean, S) drop silently; the directory tolerates
 	// it because the memory image holds their committed value.
@@ -215,8 +233,12 @@ const (
 // rendezvous guarantees one in flight per core, so a single embedded
 // instance carries the whole chain with zero allocations.
 type access struct {
-	n         *Node
-	kind      uint8
+	n    *Node
+	kind uint8
+	// dom is the domain the core-side stages run in: the node's own
+	// domain normally, DomainSerial for the begin flow (whose completion
+	// draws the global begin timestamp).
+	dom       sim.Domain
 	stage     uint8
 	a         mem.Addr
 	v         uint64 // store value
@@ -246,7 +268,7 @@ func (c *access) Run() {
 		}
 	case stIssue:
 		c.stage = stReq
-		n.m.net.SendControlMsg(c)
+		n.ep.SendControlMsg(sim.DomainSerial, c)
 	case stReq:
 		switch c.kind {
 		case accLoad:
@@ -259,7 +281,7 @@ func (c *access) Run() {
 	case stWBData:
 		n.m.dir.WriteBackData(c.a.Line(), c.wbData)
 		c.stage = stWBAck
-		n.m.net.SendControlMsg(c)
+		n.ep.SendControlMsg(c.dom, c)
 	case stWBAck:
 		if cur := n.l1.Peek(c.a.Line()); cur != nil {
 			cur.Dirty = false
@@ -290,7 +312,7 @@ func (c *access) HandleResp(resp coherence.Resp) {
 // directory over the interconnect.
 func (c *access) issueL2() {
 	c.stage = stIssue
-	c.n.m.eng.ScheduleRunner(c.n.m.cfg.L2Latency, c)
+	c.n.sched.ScheduleRunnerIn(c.dom, c.n.m.cfg.L2Latency, c)
 }
 
 // ---------- Load ----------
@@ -301,12 +323,18 @@ func (n *Node) Load(a mem.Addr, inTx bool, done loadDone) {
 	c := &n.acc
 	c.kind = accLoad
 	c.stage = stStart
+	c.dom = n.sched.Domain()
+	if _, ok := done.(*beginOp); ok {
+		// The begin flow's completion draws the machine-wide begin
+		// timestamp, so its accesses run serially.
+		c.dom = sim.DomainSerial
+	}
 	c.a = a
 	c.inTx = inTx
 	c.nackTries = 0
 	c.vsbTries = 0
 	c.ld = done
-	n.m.eng.ScheduleRunner(n.m.cfg.L1Latency, c)
+	n.sched.ScheduleRunnerIn(c.dom, n.m.cfg.L1Latency, c)
 }
 
 func (n *Node) load1(c *access) {
@@ -375,7 +403,7 @@ func (n *Node) onLoadResp(c *access, resp coherence.Resp) {
 			panic("machine: SpecResp delivered to a non-transactional load")
 		}
 		if stale {
-			n.m.stats.SpecDropStale++
+			n.stats.SpecDropStale++
 			done.onLoadDone(0, true)
 			return
 		}
@@ -385,7 +413,7 @@ func (n *Node) onLoadResp(c *access, resp coherence.Resp) {
 		case specRetry:
 			c.vsbTries++
 			c.stage = stVSBRetry
-			n.m.eng.ScheduleRunner(n.m.cfg.VSBRetryDelay, c)
+			n.sched.ScheduleRunnerIn(c.dom, n.m.cfg.VSBRetryDelay, c)
 		case specOK:
 			n.tx.AddRead(line)
 			e := n.l1.Peek(line)
@@ -401,11 +429,11 @@ func (n *Node) onLoadResp(c *access, resp coherence.Resp) {
 			done.onLoadDone(0, true)
 			return
 		}
-		n.m.stats.NackRetries++
+		n.stats.NackRetries++
 		n.m.emitNackRetry(n.id, line)
 		c.nackTries++
 		c.stage = stNackRetry
-		n.m.eng.ScheduleRunner(n.m.cfg.NackRetryDelay, c)
+		n.sched.ScheduleRunnerIn(c.dom, n.m.cfg.NackRetryDelay, c)
 	}
 }
 
@@ -431,7 +459,7 @@ func (n *Node) consumeSpec(line mem.Addr, resp coherence.Resp, vsbTries int) spe
 	}
 	if vsbFull {
 		if _, have := n.tx.VSB.Lookup(line); !have {
-			n.m.stats.SpecDropVSB++
+			n.stats.SpecDropVSB++
 			if vsbTries+1 >= n.m.cfg.VSBRetryLimit {
 				n.abortTx(htm.CauseCapacity)
 				return specAborted
@@ -442,7 +470,7 @@ func (n *Node) consumeSpec(line mem.Addr, resp coherence.Resp, vsbTries int) spe
 	out := n.policy.AcceptSpec(n.tx, resp.PiC)
 	switch {
 	case out.Cause != htm.CauseNone:
-		n.m.stats.SpecDropReject++
+		n.stats.SpecDropReject++
 		n.abortTx(out.Cause)
 		return specAborted
 	case out.Retry:
@@ -461,7 +489,7 @@ func (n *Node) consumeSpec(line mem.Addr, resp coherence.Resp, vsbTries int) spe
 		}
 		n.tx.AddWrite(line)
 		n.tx.Consumed = true
-		n.m.stats.SpecRespsConsumed++
+		n.stats.SpecRespsConsumed++
 		n.m.emitConsume(n.id, line, resp.PiC)
 		n.armValidationTimer()
 		return specOK
@@ -477,13 +505,14 @@ func (n *Node) Store(a mem.Addr, v uint64, inTx bool, done storeDone) {
 	c := &n.acc
 	c.kind = accStore
 	c.stage = stStart
+	c.dom = n.sched.Domain()
 	c.a = a
 	c.v = v
 	c.inTx = inTx
 	c.nackTries = 0
 	c.vsbTries = 0
 	c.sd = done
-	n.m.eng.ScheduleRunner(n.m.cfg.L1Latency, c)
+	n.sched.ScheduleRunnerIn(c.dom, n.m.cfg.L1Latency, c)
 }
 
 func (n *Node) store1(c *access) {
@@ -521,7 +550,7 @@ func (n *Node) store1(c *access) {
 					// stalls until the writeback lands.
 					c.wbData = e.Data
 					c.stage = stWBData
-					n.m.net.SendDataMsg(c)
+					n.ep.SendDataMsg(sim.DomainSerial, c)
 					return
 				}
 				e.SM = true
@@ -580,7 +609,7 @@ func (n *Node) onStoreResp(c *access, resp coherence.Resp) {
 			panic("machine: SpecResp delivered to a non-transactional store")
 		}
 		if stale {
-			n.m.stats.SpecDropStale++
+			n.stats.SpecDropStale++
 			done.onStoreDone(true)
 			return
 		}
@@ -590,7 +619,7 @@ func (n *Node) onStoreResp(c *access, resp coherence.Resp) {
 		case specRetry:
 			c.vsbTries++
 			c.stage = stVSBRetry
-			n.m.eng.ScheduleRunner(n.m.cfg.VSBRetryDelay, c)
+			n.sched.ScheduleRunnerIn(c.dom, n.m.cfg.VSBRetryDelay, c)
 		case specOK:
 			e := n.l1.Peek(line)
 			e.Data[a.WordIndex()] = v
@@ -606,11 +635,11 @@ func (n *Node) onStoreResp(c *access, resp coherence.Resp) {
 			done.onStoreDone(true)
 			return
 		}
-		n.m.stats.NackRetries++
+		n.stats.NackRetries++
 		n.m.emitNackRetry(n.id, line)
 		c.nackTries++
 		c.stage = stNackRetry
-		n.m.eng.ScheduleRunner(n.m.cfg.NackRetryDelay, c)
+		n.sched.ScheduleRunnerIn(c.dom, n.m.cfg.NackRetryDelay, c)
 	}
 }
 
@@ -630,12 +659,13 @@ func (n *Node) CAS(a mem.Addr, old, new uint64, done casDone) {
 	c := &n.acc
 	c.kind = accCAS
 	c.stage = stStart
+	c.dom = n.sched.Domain()
 	c.a = a
 	c.old = old
 	c.new = new
 	c.inTx = false
 	c.cd = done
-	n.m.eng.ScheduleRunner(n.m.cfg.L1Latency, c)
+	n.sched.ScheduleRunnerIn(c.dom, n.m.cfg.L1Latency, c)
 }
 
 func (n *Node) cas1(c *access) {
@@ -685,6 +715,6 @@ func (n *Node) onCASResp(c *access, resp coherence.Resp) {
 		panic("machine: SpecResp delivered to CAS")
 	case coherence.RespNack:
 		c.stage = stNackRetry
-		n.m.eng.ScheduleRunner(n.m.cfg.NackRetryDelay, c)
+		n.sched.ScheduleRunnerIn(c.dom, n.m.cfg.NackRetryDelay, c)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"chats/internal/coherence"
 	"chats/internal/htm"
 	"chats/internal/mem"
+	"chats/internal/sim"
 )
 
 // HandleProbe processes a directory probe: normal coherence service when
@@ -38,7 +39,7 @@ func (n *Node) HandleProbe(p coherence.Probe) {
 	}
 
 	n.tx.Conflicted = true
-	n.m.stats.ProbeConflicts++
+	n.stats.ProbeConflicts++
 	dec, pic := htm.DecideAbort, coherence.PiCNone
 	if p.Req.IsTx {
 		pc := htm.ProbeContext{
@@ -58,10 +59,10 @@ func (n *Node) HandleProbe(p coherence.Probe) {
 
 	switch dec {
 	case htm.DecideSpec:
-		n.m.stats.DecSpec++
+		n.stats.DecSpec++
 		n.tx.Forwarded = true
 		n.tx.ForwardedTo++
-		n.m.stats.SpecRespsSent++
+		n.stats.SpecRespsSent++
 		n.m.emitForward(n.id, p.Req.ID, line, pic)
 		var data mem.Line
 		if e != nil {
@@ -69,10 +70,10 @@ func (n *Node) HandleProbe(p coherence.Probe) {
 		}
 		p.ReplySpec(data, pic)
 	case htm.DecideNack:
-		n.m.stats.DecNack++
+		n.stats.DecNack++
 		p.ReplyNack()
 	case htm.DecideAbort:
-		n.m.stats.DecAbort++
+		n.stats.DecAbort++
 		cause := htm.CauseConflict
 		if !p.Req.IsTx && line == n.m.lockLine {
 			cause = htm.CauseLock
@@ -125,11 +126,12 @@ func (c *commitReply) Run() {
 	d.onCommitDone(c.committed)
 }
 
-// scheduleCommitReply arms the node's reply event.
+// scheduleCommitReply arms the node's reply event (in the node's own
+// domain: it wakes the waiting thread).
 func (n *Node) scheduleCommitReply(delay uint64, done commitDone, committed bool) {
 	n.crep.done = done
 	n.crep.committed = committed
-	n.m.eng.ScheduleRunner(delay, &n.crep)
+	n.sched.ScheduleRunner(delay, &n.crep)
 }
 
 // abortTx kills the running transaction: stats, gang invalidation of the
@@ -140,16 +142,16 @@ func (n *Node) abortTx(cause htm.AbortCause) {
 		return
 	}
 	wasCommitting := n.tx.Status == htm.Committing
-	n.m.stats.Aborts++
-	n.m.stats.ByCause[cause]++
+	n.stats.Aborts++
+	n.stats.ByCause[cause]++
 	if n.tx.Conflicted {
-		n.m.stats.ConflictedAborted++
+		n.stats.ConflictedAborted++
 	}
 	if n.tx.Forwarded {
-		n.m.stats.ForwarderAborted++
+		n.stats.ForwarderAborted++
 	}
 	if n.tx.Consumed {
-		n.m.stats.ConsumerAborted++
+		n.stats.ConsumerAborted++
 	}
 	n.tx.MarkAborted(cause)
 	n.l1.GangInvalidateSM()
@@ -187,7 +189,8 @@ func (b *beginOp) onLoadDone(v uint64, aborted bool) {
 	switch b.phase {
 	case bpLockFree:
 		if v != 0 {
-			n.m.eng.ScheduleRunner(n.m.cfg.BackoffBase+n.rng.Uint64n(n.m.cfg.BackoffBase), b)
+			n.sched.ScheduleRunnerIn(sim.DomainSerial,
+				n.m.cfg.BackoffBase+n.rng.Uint64n(n.m.cfg.BackoffBase), b)
 			return
 		}
 		n.tx.Begin(b.attempt, n.policy.Traits().NaiveBudget)
@@ -223,7 +226,8 @@ func (n *Node) BeginTx(attempt int, power bool, done beginDone) {
 	b.attempt = attempt
 	b.power = power
 	b.done = done
-	n.m.eng.ScheduleRunner(n.m.cfg.BeginLatency, b)
+	// Serial domain: the begin flow draws the machine-wide timestamp.
+	n.sched.ScheduleRunnerIn(sim.DomainSerial, n.m.cfg.BeginLatency, b)
 }
 
 func (n *Node) begin1(b *beginOp) {
@@ -251,15 +255,15 @@ func (n *Node) Commit(done commitDone) {
 func (n *Node) finalizeCommit(done commitDone) {
 	n.m.emitCommit(n.id, n.validatedThisTx)
 	n.l1.CommitSM(nil)
-	n.m.stats.Commits++
+	n.stats.Commits++
 	if n.tx.Conflicted {
-		n.m.stats.ConflictedCommitted++
+		n.stats.ConflictedCommitted++
 	}
 	if n.tx.Forwarded {
-		n.m.stats.ForwarderCommitted++
+		n.stats.ForwarderCommitted++
 	}
 	if n.tx.Consumed {
-		n.m.stats.ConsumerCommitted++
+		n.stats.ConsumerCommitted++
 	}
 	if n.tx.Power {
 		n.m.releasePower(n.id)
@@ -282,7 +286,7 @@ func (n *Node) FinishAbort() htm.AbortCause {
 // EnterFallback marks the core as executing the software fallback path.
 func (n *Node) EnterFallback() {
 	n.tx.Status = htm.Fallback
-	n.m.stats.Fallbacks++
+	n.stats.Fallbacks++
 	n.m.emitFallback(n.id)
 }
 
@@ -327,7 +331,7 @@ func (v *valOp) HandleResp(resp coherence.Resp) {
 
 func (n *Node) stopValidationTimer() {
 	if n.valTimer != nil {
-		n.m.eng.Cancel(n.valTimer)
+		n.sched.Cancel(n.valTimer)
 		n.valTimer = nil
 	}
 }
@@ -342,7 +346,7 @@ func (n *Node) armValidationTimer() {
 	if interval == 0 || n.tx.Status == htm.Committing {
 		interval = 1 // back-to-back validation
 	}
-	n.valTimer = n.m.eng.ScheduleRunner(interval, &n.valTick)
+	n.valTimer = n.sched.ScheduleRunner(interval, &n.valTick)
 }
 
 // kickValidation validates immediately (commit is waiting).
@@ -364,8 +368,8 @@ func (n *Node) issueValidation() {
 	n.val.ent = ent
 	n.val.epoch = n.tx.Epoch
 	n.valInFlight = true
-	n.m.stats.Validations++
-	n.m.net.SendControlMsg(&n.val)
+	n.stats.Validations++
+	n.ep.SendControlMsg(sim.DomainSerial, &n.val)
 }
 
 func (n *Node) onValidationResp(ent htm.VSBEntry, epoch uint64, resp coherence.Resp) {
@@ -394,7 +398,7 @@ func (n *Node) onValidationResp(ent htm.VSBEntry, epoch uint64, resp coherence.R
 		switch out {
 		case htm.ValidationDone:
 			n.tx.VSB.Remove(ent.Line)
-			n.m.stats.ValidationsOK++
+			n.stats.ValidationsOK++
 			n.validatedThisTx++
 			n.m.emitValidate(n.id, ent.Line, true)
 			if e := n.l1.Peek(ent.Line); e != nil {

@@ -2,6 +2,7 @@ package machine
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"chats/internal/htm"
 	"chats/internal/mem"
@@ -178,10 +179,10 @@ type wdTick struct{ r *runner }
 func (w *wdTick) Run() {
 	r := w.r
 	r.wd = nil
-	if r.active == 0 {
+	if r.active.Load() == 0 {
 		return
 	}
-	progress := r.m.stats.Commits + r.m.stats.Fallbacks
+	progress := r.m.progress()
 	if progress == r.wdLast {
 		r.m.eng.Halt(r.m.livelockError(r.m.cfg.WatchdogCycles))
 		return
@@ -193,7 +194,9 @@ func (w *wdTick) Run() {
 type runner struct {
 	m       *Machine
 	threads []*tctx
-	active  int
+	// active is decremented from pump, which under intra-run parallelism
+	// runs inside node-domain events — hence the atomic.
+	active atomic.Int32
 
 	// Livelock watchdog (armed when cfg.WatchdogCycles > 0): wd is the
 	// pending tick event, wdLast the Commits+Fallbacks count at the last
@@ -249,13 +252,13 @@ func (r *runner) run(w Workload) error {
 			w.Thread(t, t.tid)
 		}()
 	}
-	r.active = len(r.threads)
+	r.active.Store(int32(len(r.threads)))
 	for _, t := range r.threads {
 		t := t
-		r.m.eng.Schedule(0, func() { r.pump(t) })
+		t.node.sched.Schedule(0, func() { r.pump(t) })
 	}
 	if r.m.cfg.WatchdogCycles > 0 {
-		r.wdLast = r.m.stats.Commits + r.m.stats.Fallbacks
+		r.wdLast = r.m.progress()
 		r.armWatchdog()
 	}
 	_, err := r.m.eng.Run(r.m.cfg.CycleLimit)
@@ -293,8 +296,7 @@ func (r *runner) pump(t *tctx) {
 	req, ok := <-t.reqCh
 	if !ok {
 		t.done = true
-		r.active--
-		if r.active == 0 && r.wd != nil {
+		if r.active.Add(-1) == 0 && r.wd != nil {
 			// Keeping the tick pending would hold the event queue open and
 			// inflate the Cycles stat past the last real event.
 			r.m.eng.Cancel(r.wd)
@@ -323,7 +325,7 @@ func (r *runner) dispatch(t *tctx, req opReq) {
 			cycles = 1
 		}
 		t.timer.op = opWork
-		m.eng.ScheduleRunner(cycles, &t.timer)
+		n.sched.ScheduleRunner(cycles, &t.timer)
 	case opBegin:
 		if m.cfg.MaxAttempts > 0 && req.attempt > m.cfg.MaxAttempts {
 			// Starvation budget exceeded: halt the engine with the dump.
@@ -338,7 +340,7 @@ func (r *runner) dispatch(t *tctx, req opReq) {
 	case opAbortAck:
 		t.timer.op = opAbortAck
 		t.timer.cause = n.FinishAbort()
-		m.eng.ScheduleRunner(m.cfg.AbortLatency, &t.timer)
+		n.sched.ScheduleRunner(m.cfg.AbortLatency, &t.timer)
 	case opEnterFallback:
 		n.EnterFallback()
 		delay := uint64(1)
@@ -352,21 +354,21 @@ func (r *runner) dispatch(t *tctx, req opReq) {
 		}
 		t.timer.op = opEnterFallback
 		t.timer.ok = true
-		m.eng.ScheduleRunner(delay, &t.timer)
+		n.sched.ScheduleRunner(delay, &t.timer)
 	case opExitFallback:
 		n.ExitFallback()
 		t.timer.op = opExitFallback
 		t.timer.ok = true
-		m.eng.ScheduleRunner(1, &t.timer)
+		n.sched.ScheduleRunner(1, &t.timer)
 	case opAcquirePower:
 		t.timer.op = opAcquirePower
 		t.timer.ok = m.tryAcquirePower(n.id)
-		m.eng.ScheduleRunner(1, &t.timer)
+		n.sched.ScheduleRunner(1, &t.timer)
 	case opReleasePower:
 		m.releasePower(n.id)
 		t.timer.op = opReleasePower
 		t.timer.ok = true
-		m.eng.ScheduleRunner(1, &t.timer)
+		n.sched.ScheduleRunner(1, &t.timer)
 	default:
 		panic("machine: unknown op")
 	}

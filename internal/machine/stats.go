@@ -55,6 +55,37 @@ type RunStats struct {
 	FaultsInjected uint64
 }
 
+// addShard folds a node's RunStats shard into the machine totals. Only
+// the counters nodes increment locally are folded; everything else
+// (Cycles, network, memory-system, fault and power counters) is owned
+// by the machine and collected separately.
+func (s *RunStats) addShard(o *RunStats) {
+	s.Commits += o.Commits
+	s.Aborts += o.Aborts
+	for i := range s.ByCause {
+		s.ByCause[i] += o.ByCause[i]
+	}
+	s.Fallbacks += o.Fallbacks
+	s.ConflictedCommitted += o.ConflictedCommitted
+	s.ConflictedAborted += o.ConflictedAborted
+	s.ForwarderCommitted += o.ForwarderCommitted
+	s.ForwarderAborted += o.ForwarderAborted
+	s.ConsumerCommitted += o.ConsumerCommitted
+	s.ConsumerAborted += o.ConsumerAborted
+	s.SpecRespsSent += o.SpecRespsSent
+	s.SpecRespsConsumed += o.SpecRespsConsumed
+	s.Validations += o.Validations
+	s.ValidationsOK += o.ValidationsOK
+	s.ProbeConflicts += o.ProbeConflicts
+	s.DecAbort += o.DecAbort
+	s.DecSpec += o.DecSpec
+	s.DecNack += o.DecNack
+	s.SpecDropStale += o.SpecDropStale
+	s.SpecDropVSB += o.SpecDropVSB
+	s.SpecDropReject += o.SpecDropReject
+	s.NackRetries += o.NackRetries
+}
+
 // AbortRate returns aborts per executed transaction attempt.
 func (s RunStats) AbortRate() float64 {
 	total := s.Commits + s.Aborts

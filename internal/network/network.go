@@ -81,10 +81,17 @@ func (n *Network) SendDataMsg(r sim.Runner) {
 // delay accounts the message and computes its delivery latency,
 // including fault-injected jitter and the in-order delivery clamp.
 func (n *Network) delay(flits uint64) uint64 {
-	n.Stats.Messages++
-	n.Stats.Flits += flits
+	return n.delayInto(&n.Stats, flits)
+}
+
+func (n *Network) delayInto(st *Stats, flits uint64) uint64 {
+	st.Messages++
+	st.Flits += flits
 	delay := n.linkLatency + flits
 	if n.Jitter != nil {
+		// Jitter only exists under fault injection, which forces the
+		// engine serial, so touching the shared clamp state here is safe
+		// even from an Endpoint.
 		delay += n.Jitter()
 		now := n.eng.Now()
 		if now+delay < n.lastDelivery {
@@ -93,4 +100,43 @@ func (n *Network) delay(flits uint64) uint64 {
 		n.lastDelivery = now + delay
 	}
 	return delay
+}
+
+// Endpoint is one node's private interface to the crossbar: it owns a
+// Stats shard and the node's scheduling handle, so concurrently
+// executing node domains can send without sharing counters or touching
+// the engine directly. The caller names the delivery's target domain
+// (DomainSerial for anything handled at the directory, the node's own
+// domain for messages coming back to the core). Fold the shards into
+// the Network's totals with AddShard after the run.
+type Endpoint struct {
+	net   *Network
+	sched sim.Sched
+	Stats Stats
+}
+
+// NewEndpoint builds a per-owner endpoint around the owner's scheduling
+// handle.
+func (n *Network) NewEndpoint(sched sim.Sched) Endpoint {
+	return Endpoint{net: n, sched: sched}
+}
+
+// SendControlMsg delivers a 1-flit typed message into target.
+func (ep *Endpoint) SendControlMsg(target sim.Domain, r sim.Runner) {
+	ep.sched.ScheduleRunnerIn(target, ep.net.delayInto(&ep.Stats, ControlFlits), r)
+	ep.Stats.ControlMsgs++
+}
+
+// SendDataMsg delivers a 5-flit typed message into target.
+func (ep *Endpoint) SendDataMsg(target sim.Domain, r sim.Runner) {
+	ep.sched.ScheduleRunnerIn(target, ep.net.delayInto(&ep.Stats, DataFlits), r)
+	ep.Stats.DataMsgs++
+}
+
+// AddShard folds an endpoint's counters into the network totals.
+func (n *Network) AddShard(st *Stats) {
+	n.Stats.Messages += st.Messages
+	n.Stats.Flits += st.Flits
+	n.Stats.ControlMsgs += st.ControlMsgs
+	n.Stats.DataMsgs += st.DataMsgs
 }

@@ -52,6 +52,19 @@ func FromStats(st machine.RunStats, system string, seed uint64, config, size str
 	}
 }
 
+// StampEngine records which engine the producing run used: workers <= 1
+// is the serial engine, anything above is the intra-run parallel
+// executor with that many workers.
+func (r *Record) StampEngine(workers int) {
+	if workers <= 1 {
+		r.EngineMode = "serial"
+		r.IntraWorkers = 1
+		return
+	}
+	r.EngineMode = "parallel"
+	r.IntraWorkers = workers
+}
+
 // byCause names the non-zero abort causes (cause 0 is "none").
 func byCause(st machine.RunStats) map[string]uint64 {
 	var m map[string]uint64

@@ -93,6 +93,13 @@ type Record struct {
 	// "experiments", "serve", or "import:<file>" for bench history.
 	Source string `json:"source,omitempty"`
 
+	// EngineMode is "serial" or "parallel"; IntraWorkers is the
+	// engine's intra-run worker count (1 = serial). Both empty/zero on
+	// records written before the parallel engine existed, so dashboard
+	// trends can separate the modes without guessing.
+	EngineMode   string `json:"engine_mode,omitempty"`
+	IntraWorkers int    `json:"intra_workers,omitempty"`
+
 	SimCycles   uint64 `json:"simcycles"`
 	WallclockNS int64  `json:"wallclock_ns"`
 	Allocs      uint64 `json:"allocs"`

@@ -1,0 +1,256 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The synthetic workload below mimics the machine's event shapes: per
+// node a stream of self-rescheduling events (delay 0..3), requests into
+// the serial hub which answers back into the node's domain, occasional
+// far delays past the wheel horizon, and an armed-then-cancelled timer.
+// Every observable — each node's private log, the hub's order-sensitive
+// log, Fired(), Now() — must be bit-identical at any worker count.
+
+type phub struct {
+	sched Sched
+	log   []uint64
+}
+
+type preq struct {
+	hub   *phub
+	node  *pnode
+	delay uint64
+}
+
+func (r *preq) Run() {
+	h := r.hub
+	// The hub log captures the global firing order of serial events: a
+	// merge-order bug between domains shows up here immediately.
+	h.log = append(h.log, h.sched.Now()<<8|uint64(r.node.id))
+	h.sched.ScheduleRunnerIn(r.node.sched.Domain(), r.delay, &presp{node: r.node})
+}
+
+type presp struct{ node *pnode }
+
+func (r *presp) Run() { r.node.fire(2) }
+
+type pnode struct {
+	sched Sched
+	hub   *phub
+	id    int
+	rng   uint64
+	ops   int
+	log   []uint64
+	timer *Event
+	tick  ptick
+	self  pself
+}
+
+type ptick struct{ node *pnode }
+
+func (t *ptick) Run() {
+	n := t.node
+	n.timer = nil
+	n.log = append(n.log, n.sched.Now()<<8|7)
+}
+
+type pself struct{ node *pnode }
+
+func (s *pself) Run() { s.node.fire(1) }
+
+func (n *pnode) next() uint64 {
+	n.rng = n.rng*6364136223846793005 + 1442695040888963407
+	return n.rng >> 33
+}
+
+func (n *pnode) fire(kind uint64) {
+	n.log = append(n.log, n.sched.Now()<<8|kind)
+	if n.timer != nil {
+		n.sched.Cancel(n.timer)
+		n.timer = nil
+	}
+	if n.ops <= 0 {
+		return
+	}
+	n.ops--
+	switch n.next() % 5 {
+	case 0, 1:
+		n.sched.ScheduleRunner(n.next()%4, &n.self)
+	case 2:
+		n.sched.ScheduleRunnerIn(DomainSerial, 1+n.next()%3,
+			&preq{hub: n.hub, node: n, delay: 1 + n.next()%4})
+	case 3:
+		// Arm a timer, then keep going; a later fire cancels it while it
+		// sits in the wheel (or, with delay 0, in the current frame).
+		n.timer = n.sched.ScheduleRunner(n.next()%8, &n.tick)
+		n.sched.ScheduleRunner(1, &n.self)
+	case 4:
+		n.sched.ScheduleRunner(wheelSize+n.next()%70, &n.self)
+	}
+}
+
+type pworld struct {
+	eng   *Engine
+	hub   *phub
+	nodes []*pnode
+}
+
+func buildWorld(nodes, ops int, workers int) *pworld {
+	w := &pworld{eng: &Engine{}}
+	w.eng.SetWorkers(workers)
+	w.hub = &phub{sched: w.eng.NewSched(DomainSerial)}
+	for i := 0; i < nodes; i++ {
+		n := &pnode{
+			sched: w.eng.NewSched(Domain(1 + i)),
+			hub:   w.hub,
+			id:    i,
+			rng:   uint64(i)*977 + 13,
+			ops:   ops,
+		}
+		n.tick.node = n
+		n.self.node = n
+		w.nodes = append(w.nodes, n)
+		w.eng.ScheduleRunner(uint64(i%3), &pself{node: n})
+	}
+	return w
+}
+
+func runWorld(t *testing.T, nodes, ops, workers int) (*pworld, uint64) {
+	t.Helper()
+	w := buildWorld(nodes, ops, workers)
+	fired, err := w.eng.Run(0)
+	if err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	return w, fired
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	const nodes, ops = 16, 400
+	ref, refFired := runWorld(t, nodes, ops, 1)
+	for _, workers := range []int{2, 4, 8} {
+		got, gotFired := runWorld(t, nodes, ops, workers)
+		if gotFired != refFired {
+			t.Errorf("workers=%d: fired %d, want %d", workers, gotFired, refFired)
+		}
+		if got.eng.Now() != ref.eng.Now() {
+			t.Errorf("workers=%d: final cycle %d, want %d", workers, got.eng.Now(), ref.eng.Now())
+		}
+		if fmt.Sprint(got.hub.log) != fmt.Sprint(ref.hub.log) {
+			t.Errorf("workers=%d: hub log diverged", workers)
+		}
+		for i := range got.nodes {
+			if fmt.Sprint(got.nodes[i].log) != fmt.Sprint(ref.nodes[i].log) {
+				t.Errorf("workers=%d: node %d log diverged", workers, i)
+			}
+		}
+	}
+}
+
+// TestParallelSerialCancelsFrameEvent pins the idxFrame path: a serial
+// event cancels a same-cycle event that is already drained into the
+// frame but not yet fired.
+func TestParallelSerialCancelsFrameEvent(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var e Engine
+		e.SetWorkers(workers)
+		nd := e.NewSched(1)
+		ran := false
+		// Order at cycle 0: serial canceller (seq 0) fires first, then
+		// the node event must be gone.
+		var victim *Event
+		e.Schedule(0, func() { e.Cancel(victim) })
+		victim = nd.ScheduleRunner(0, runnerFunc(func() { ran = true }))
+		if _, err := e.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		if ran {
+			t.Errorf("workers=%d: cancelled frame event ran", workers)
+		}
+		if !victim.Cancelled() {
+			t.Errorf("workers=%d: victim not marked cancelled", workers)
+		}
+	}
+}
+
+type runnerFunc func()
+
+func (f runnerFunc) Run() { f() }
+
+// TestParallelHaltRequeues checks that a halt raised by a serial event
+// mid-cycle leaves the same Pending() count as the serial engine.
+func TestParallelHaltRequeues(t *testing.T) {
+	count := func(workers int) (int, uint64) {
+		var e Engine
+		e.SetWorkers(workers)
+		nd := e.NewSched(1)
+		nop := runnerFunc(func() {})
+		for i := 0; i < 6; i++ {
+			nd.ScheduleRunner(2, nop)
+		}
+		e.Schedule(2, func() { e.Halt(fmt.Errorf("stop")) })
+		for i := 0; i < 6; i++ {
+			nd.ScheduleRunner(2, nop)
+		}
+		nd.ScheduleRunner(9, nop)
+		if _, err := e.Run(0); err == nil {
+			t.Fatalf("workers=%d: expected halt error", workers)
+		}
+		return e.Pending(), e.Fired()
+	}
+	wantPending, wantFired := count(1)
+	gotPending, gotFired := count(4)
+	if gotPending != wantPending || gotFired != wantFired {
+		t.Errorf("halt state: got pending=%d fired=%d, want pending=%d fired=%d",
+			gotPending, gotFired, wantPending, wantFired)
+	}
+}
+
+// TestParallelDirectScheduleDuringBatchPanics pins the migration guard:
+// raw Engine scheduling from worker context is a bug, not a race.
+func TestParallelDirectScheduleDuringBatchPanics(t *testing.T) {
+	var e Engine
+	e.SetWorkers(4)
+	sd := make([]Sched, 8)
+	for i := range sd {
+		sd[i] = e.NewSched(Domain(1 + i))
+	}
+	panicked := make(chan any, 8)
+	bad := runnerFunc(func() {
+		defer func() { panicked <- recover() }()
+		e.Schedule(1, func() {})
+	})
+	for i := range sd {
+		sd[i].ScheduleRunner(0, bad)
+	}
+	e.Run(0)
+	close(panicked)
+	saw := false
+	for v := range panicked {
+		if v != nil {
+			saw = true
+		}
+	}
+	if !saw {
+		t.Error("direct Engine.Schedule during a batch did not panic")
+	}
+}
+
+// TestSerialModeStartsNoGoroutines pins the workers=1 guard: the serial
+// engine must not spawn anything.
+func TestSerialModeStartsNoGoroutines(t *testing.T) {
+	var e Engine
+	e.SetWorkers(1)
+	if e.par != nil {
+		t.Fatal("workers=1 left parallel state armed")
+	}
+	n := 0
+	e.Schedule(1, func() { n++ })
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatal("event did not run")
+	}
+}
