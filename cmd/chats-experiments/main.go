@@ -20,6 +20,7 @@ import (
 	"chats"
 	"chats/internal/experiments"
 	"chats/internal/faults"
+	"chats/internal/htm"
 	"chats/internal/machine"
 	"chats/internal/runstore"
 	"chats/internal/stats"
@@ -46,6 +47,10 @@ func main() {
 		benchBig  = flag.Bool("bench-large", false, "instead of figures, run the large-machine (64-core) bench grid serially and write it with -bench-json — pair -intra-j 1 and -intra-j 4 runs to measure intra-run parallelism")
 		soak      = flag.Bool("faults-soak", false, "instead of figures, run every system × micro bench under the fault plan with invariants and the watchdog on")
 		faultSpec = flag.String("faults", "", "fault spec for -faults-soak (default: the canonical all-kinds soak plan)")
+		fbMatrix  = flag.Bool("fallback-matrix", false, "instead of figures, sweep fallback path × system × micro bench under a lockburst plan (graceful-degradation check)")
+		fallback  = flag.String("fallback", "", "fallback path for every simulation: lock (default), stm[:locks=N], elide[:budget=N,refill=N]")
+		cmSpec    = flag.String("cm", "", "contention manager: fixed (default) or adaptive[:window=N,spec=F,wait=N,cap=N,fallbackafter=N,hotline=N]")
+		backoff   = flag.String("backoff", "", "post-abort backoff variant: exp (default), linear, jitter, each with optional :cap=N")
 		fuzzN     = flag.Int("fuzz-smoke", 0, "instead of figures, differentially fuzz N seeded random programs across all systems (0 = off)")
 		fuzzSeed  = flag.Uint64("fuzz-seed", 1, "first generator seed for -fuzz-smoke")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
@@ -67,10 +72,57 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+
+	// The -fallback/-cm/-backoff knobs apply to every simulation of the
+	// chosen mode (figures, soak, fuzz-smoke). The fallback matrix sweeps
+	// its own path axis, so it only honors -cm and -backoff.
+	applyKnobs := func(cfg *machine.Config) {
+		var err error
+		if *fallback != "" {
+			if cfg.Fallback, err = machine.ParseFallback(*fallback); err != nil {
+				fatal(err)
+			}
+		}
+		if *cmSpec != "" {
+			if cfg.CM, err = htm.ParseCM(*cmSpec); err != nil {
+				fatal(err)
+			}
+		}
+		if *backoff != "" {
+			if cfg.Backoff, err = machine.ParseBackoff(*backoff); err != nil {
+				fatal(err)
+			}
+		}
+	}
+
+	// Open the run database before mode dispatch: the figures, soak,
+	// fallback-matrix and fuzz-smoke modes all record through the same
+	// seam, tagged with the mode as the record source.
+	meta := runstore.NowMeta()
+	var recorder func(runstore.Record)
+	if *storeDir != "" {
+		store, err := runstore.Open(*storeDir, runstore.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		defer store.Close()
+		source := "experiments"
+		switch {
+		case *fuzzN > 0:
+			source = "fuzz"
+		case *soak:
+			source = "soak"
+		case *fbMatrix:
+			source = "fallback-matrix"
+		}
+		recorder = store.Recorder(meta, source)
+	}
+
 	if *fuzzN > 0 {
-		p := experiments.Params{Size: sz, Machine: machine.DefaultConfig(), Workers: cellJobs}
+		p := experiments.Params{Size: sz, Machine: machine.DefaultConfig(), Workers: cellJobs, Recorder: recorder}
 		p.Machine.Seed = *seed
 		p.Machine.IntraWorkers = *intraJobs
+		applyKnobs(&p.Machine)
 		rep := experiments.FuzzSmoke(p, *fuzzSeed, *fuzzN)
 		experiments.WriteFuzzReport(os.Stdout, rep)
 		if !rep.Ok() {
@@ -93,29 +145,48 @@ func main() {
 		}
 		return
 	}
-	if *soak {
-		if err := runSoak(sz, *seed, cellJobs, *faultSpec, *verbose); err != nil {
+	if *soak || *fbMatrix {
+		p := experiments.Params{
+			Size:     sz,
+			Machine:  machine.DefaultConfig(),
+			Workers:  cellJobs,
+			Recorder: recorder,
+		}
+		p.Machine.Seed = *seed
+		p.Machine.IntraWorkers = *intraJobs
+		applyKnobs(&p.Machine)
+		if *soak {
+			p.WatchdogCycles = 10_000_000
+		}
+		if *verbose {
+			p.Verbose = os.Stderr
+		}
+		if *faultSpec != "" {
+			plan, err := faults.Parse(*faultSpec)
+			if err != nil {
+				fatal(err)
+			}
+			p.Faults = &plan
+		}
+		if *soak {
+			err = runSoak(p)
+		} else {
+			err = runFallbackMatrix(p)
+		}
+		if err != nil {
 			fatal(err)
 		}
 		return
 	}
-	p := experiments.Params{Size: sz, Machine: machine.DefaultConfig(), Seeds: *seeds, Workers: cellJobs}
+	p := experiments.Params{Size: sz, Machine: machine.DefaultConfig(), Seeds: *seeds, Workers: cellJobs, Recorder: recorder}
 	p.Machine.Seed = *seed
 	p.Machine.IntraWorkers = *intraJobs
+	applyKnobs(&p.Machine)
 	if *verbose {
 		p.Verbose = os.Stderr
 	}
 	if *progress {
 		p.Progress = stderrProgress
-	}
-	meta := runstore.NowMeta()
-	if *storeDir != "" {
-		store, err := runstore.Open(*storeDir, runstore.Options{})
-		if err != nil {
-			fatal(err)
-		}
-		defer store.Close()
-		p.Recorder = store.Recorder(meta, "experiments")
 	}
 	suite := experiments.NewSuite(p)
 	start := time.Now()
@@ -260,28 +331,23 @@ func runLargeBench(sz workloads.Size, seed uint64, intra int, out string) error 
 // runSoak runs the fault soak: every system × micro bench under the
 // fault plan with the invariant checker and livelock watchdog armed.
 // Partial results are reported — a failing cell never hides the rest.
-func runSoak(sz workloads.Size, seed uint64, jobs int, spec string, verbose bool) error {
-	p := experiments.Params{
-		Size:           sz,
-		Machine:        machine.DefaultConfig(),
-		Workers:        jobs,
-		WatchdogCycles: 10_000_000,
-	}
-	p.Machine.Seed = seed
-	if verbose {
-		p.Verbose = os.Stderr
-	}
-	if spec != "" {
-		plan, err := faults.Parse(spec)
-		if err != nil {
-			return err
-		}
-		p.Faults = &plan
-	}
+func runSoak(p experiments.Params) error {
 	rep := experiments.FaultSoak(p, nil)
 	rep.Write(os.Stdout)
 	if n := len(rep.Failures()); n > 0 {
 		return fmt.Errorf("%d soak cells failed", n)
+	}
+	return nil
+}
+
+// runFallbackMatrix sweeps fallback path × system × micro bench under a
+// lockburst plan (-faults overrides it) and prints the per-cell fallback
+// concurrency — the graceful-degradation check from the command line.
+func runFallbackMatrix(p experiments.Params) error {
+	rep := experiments.FallbackMatrix(p, nil)
+	rep.Write(os.Stdout)
+	if n := len(rep.Failures()); n > 0 {
+		return fmt.Errorf("%d fallback-matrix cells failed", n)
 	}
 	return nil
 }

@@ -250,7 +250,8 @@ func TestServeDashboard(t *testing.T) {
 	if _, err := buf.ReadFrom(resp.Body); err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"/api/events", "/api/sweep", "/api/trends", "/api/runs", "chats run database"} {
+	for _, want := range []string{"/api/events", "/api/sweep", "/api/trends", "/api/runs", "chats run database",
+		"fallback &amp; contention", "fallback concurrency"} {
 		if !strings.Contains(buf.String(), want) {
 			t.Errorf("dashboard.html does not mention %q", want)
 		}

@@ -12,6 +12,7 @@ import (
 	"chats/internal/difftest"
 	"chats/internal/htm"
 	"chats/internal/randprog"
+	"chats/internal/runstore"
 	"chats/internal/workloads"
 )
 
@@ -47,7 +48,8 @@ func fuzzSystems(systems string) ([]chats.SystemKind, error) {
 // validation is deliberately broken and the exit sense inverts: the
 // campaign must CATCH the bug, proving the oracle has teeth.
 func runFuzz(cfg chats.Config, n int, start uint64, size, systems string, jobs int,
-	budget time.Duration, minimize bool, reproOut string, selfTest, jsonOut bool) error {
+	budget time.Duration, minimize bool, reproOut string, selfTest, jsonOut bool,
+	record func(runstore.Record)) error {
 	sz, err := workloads.ParseSize(size)
 	if err != nil {
 		return err
@@ -78,6 +80,7 @@ func runFuzz(cfg chats.Config, n int, start uint64, size, systems string, jobs i
 		Jobs:     jobs,
 		Minimize: minimize,
 		Budget:   budget,
+		Record:   record,
 	})
 
 	if reproOut != "" && !rep.Ok() {

@@ -29,6 +29,7 @@ import (
 	"chats/internal/faults"
 	"chats/internal/htm"
 	"chats/internal/invariant"
+	"chats/internal/machine"
 	"chats/internal/runstore"
 	"chats/internal/sweep"
 	"chats/internal/telemetry"
@@ -54,6 +55,9 @@ func main() {
 		window      = flag.Uint64("window", 10_000, "cycle window for the telemetry time series")
 		jsonOut     = flag.Bool("json", false, "print statistics as JSON")
 		faultSpec   = flag.String("faults", "", "fault-injection spec, e.g. 'spurious:p=0.01;jitter:p=0.1,max=8' ('soak' = the canonical all-kinds plan)")
+		fallbackFB  = flag.String("fallback", "", "fallback path: lock (default), stm[:locks=N], elide[:budget=N,refill=N]")
+		cmSpec      = flag.String("cm", "", "contention manager: fixed (default) or adaptive[:window=N,spec=F,wait=N,cap=N,fallbackafter=N,hotline=N]")
+		backoffSpec = flag.String("backoff", "", "post-abort backoff variant: exp (default), linear, jitter, each with optional :cap=N")
 		invariants  = flag.Bool("invariants", false, "attach the runtime invariant checker (chains, coherence, serializability oracle)")
 		wdCycles    = flag.Uint64("watchdog-cycles", 0, "arm the livelock watchdog: kill the run with a diagnostic dump after this many cycles without a commit or fallback (0 = off)")
 		maxAttempts = flag.Int("max-attempts", 0, "per-transaction attempt budget before the starvation watchdog kills the run (0 = off)")
@@ -102,6 +106,27 @@ func main() {
 		}
 		cfg.Machine.Faults = &plan
 	}
+	if *fallbackFB != "" {
+		fb, err := machine.ParseFallback(*fallbackFB)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Machine.Fallback = fb
+	}
+	if *cmSpec != "" {
+		cm, err := htm.ParseCM(*cmSpec)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Machine.CM = cm
+	}
+	if *backoffSpec != "" {
+		bo, err := machine.ParseBackoff(*backoffSpec)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Machine.Backoff = bo
+	}
 
 	if *dumpConfig {
 		experiments.PrintTableI(os.Stdout, cfg.Machine)
@@ -123,9 +148,23 @@ func main() {
 	// workers each cell will run so the host is not oversubscribed.
 	cellJobs := sweep.Budget(*jobs, *intraJobs)
 
+	var store *runstore.Store
+	if *storeDir != "" {
+		var err error
+		store, err = runstore.Open(*storeDir, runstore.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		defer store.Close()
+	}
+
 	if *fuzzN > 0 {
+		var record func(runstore.Record)
+		if store != nil {
+			record = store.Recorder(runstore.NowMeta(), "fuzz")
+		}
 		if err := runFuzz(cfg, *fuzzN, *fuzzSeed, *size, *sweepSys, cellJobs,
-			*fuzzBudget, *minimize, *reproOut, *fuzzBreak, *jsonOut); err != nil {
+			*fuzzBudget, *minimize, *reproOut, *fuzzBreak, *jsonOut, record); err != nil {
 			fatal(err)
 		}
 		return
@@ -135,16 +174,6 @@ func main() {
 			fatal(err)
 		}
 		return
-	}
-
-	var store *runstore.Store
-	if *storeDir != "" {
-		var err error
-		store, err = runstore.Open(*storeDir, runstore.Options{})
-		if err != nil {
-			fatal(err)
-		}
-		defer store.Close()
 	}
 
 	if *doSweep {

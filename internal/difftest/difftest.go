@@ -33,6 +33,7 @@ package difftest
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"chats/internal/coherence"
 	"chats/internal/core"
@@ -42,6 +43,7 @@ import (
 	"chats/internal/machine"
 	"chats/internal/mem"
 	"chats/internal/randprog"
+	"chats/internal/runstore"
 )
 
 // Systems returns the five paper systems the differential oracle runs
@@ -73,6 +75,12 @@ type Options struct {
 	// differential memory oracle (used to prove the oracle stands
 	// alone).
 	NoInvariants bool
+	// Record, when non-nil, receives one runstore.Record per system run
+	// that completed — even when an oracle then rejects the result: the
+	// cost profile of a failing campaign is still data. Under Fuzz the
+	// callback fires from worker goroutines, so it must be safe for
+	// concurrent use (runstore.Store.Recorder is).
+	Record func(runstore.Record)
 }
 
 func (o *Options) systems() []core.Kind {
@@ -140,7 +148,8 @@ func CheckSystem(p *randprog.Program, kind core.Kind, opts Options) error {
 	if opts.Wrap != nil {
 		policy = opts.Wrap(kind, policy)
 	}
-	m, err := machine.New(opts.machineConfig(p), policy)
+	cfg := opts.machineConfig(p)
+	m, err := machine.New(cfg, policy)
 	if err != nil {
 		return err
 	}
@@ -154,7 +163,14 @@ func CheckSystem(p *randprog.Program, kind core.Kind, opts Options) error {
 	m.SetTracer(tracers)
 
 	w := randprog.NewWorkload(p)
+	start := time.Now()
 	st, err := m.Run(w)
+	if opts.Record != nil && err == nil {
+		r := runstore.FromStats(st, string(kind), cfg.Seed, cfg.KnobsKey(), "fuzz",
+			time.Since(start).Nanoseconds(), 0)
+		r.StampEngine(m.IntraWorkers())
+		opts.Record(r)
+	}
 	if err != nil {
 		// Run already folds in the invariant checker's EndRun and the
 		// workload's private-slot/commutative Check.

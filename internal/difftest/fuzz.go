@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"chats/internal/randprog"
+	"chats/internal/runstore"
 	"chats/internal/sweep"
 )
 
@@ -29,6 +30,12 @@ type FuzzOptions struct {
 	// actually run then depends on host speed, so fixed-N campaigns are
 	// the reproducible mode; Report.Skipped says how many were cut.
 	Budget time.Duration
+	// Record, when non-nil, receives one runstore.Record per system run
+	// of every checked program, with Record.Seed rewritten to the
+	// program's generator seed (the campaign's axis; the fixed machine
+	// seed is Check.Seed). Minimization re-runs are not recorded. Must
+	// be safe for concurrent use at Jobs > 1.
+	Record func(runstore.Record)
 }
 
 // Failure describes one program the oracle rejected.
@@ -87,7 +94,14 @@ func Fuzz(o FuzzOptions) *Report {
 		seed := o.Start + uint64(i)
 		p := randprog.Generate(seed, o.Gen)
 		results[i].ran = true
-		err := Check(p, o.Check)
+		check := o.Check
+		if o.Record != nil {
+			check.Record = func(r runstore.Record) {
+				r.Seed = seed
+				o.Record(r)
+			}
+		}
+		err := Check(p, check)
 		if err == nil {
 			return nil
 		}

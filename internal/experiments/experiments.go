@@ -169,6 +169,22 @@ func traitsKey(t *htm.Traits) string {
 // land under the same identity.
 func TraitsKey(t *htm.Traits) string { return traitsKey(t) }
 
+// ConfigKey combines the trait fingerprint with the machine's
+// fallback/cm/backoff knob spec — the Config component of a run-store
+// key for entry points that may override either. Defaults collapse to
+// "" so records from knobless runs keep their historical identity.
+func ConfigKey(t *htm.Traits, cfg machine.Config) string {
+	tk := traitsKey(t)
+	kk := cfg.KnobsKey()
+	switch {
+	case tk == "":
+		return kk
+	case kk == "":
+		return tk
+	}
+	return tk + " " + kk
+}
+
 // Run simulates one (system, traits, bench) cell, memoized, averaging
 // over Params.Seeds seeds. Safe for concurrent use; callers that need a
 // whole grid should go through the figure functions (which prime the
@@ -266,7 +282,7 @@ func (s *Suite) runOnce(kind core.Kind, traits *htm.Traits, bench string, seed u
 	}
 	rec.finish(st.Cycles)
 	if s.p.Recorder != nil {
-		r := runstore.FromStats(st, string(kind), seed, traitsKey(traits),
+		r := runstore.FromStats(st, string(kind), seed, ConfigKey(traits, cfg),
 			s.p.Size.String(), rec.bench.WallclockNS, rec.bench.Allocs)
 		r.StampEngine(m.IntraWorkers())
 		s.p.Recorder(r)

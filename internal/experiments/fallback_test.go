@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"chats/internal/core"
+	"chats/internal/machine"
+	"chats/internal/runstore"
+	"chats/internal/workloads"
+)
+
+// The acceptance criterion of the fallback matrix: under a lockburst
+// soak the STM fallback path keeps >= 2 cores inside fallback bodies
+// concurrently while the global lock admits at most one — graceful
+// degradation instead of full serialization.
+func TestFallbackMatrixGracefulDegradation(t *testing.T) {
+	p := Params{
+		Size:            workloads.Tiny,
+		Machine:         machine.DefaultConfig(),
+		Workers:         4,
+		CellCycleBudget: 200_000_000,
+	}
+	rep := FallbackMatrix(p, []string{"cadd"})
+	for _, c := range rep.Failures() {
+		t.Fatalf("cell %s/%s/%s failed: %v", c.Fallback, c.System, c.Bench, c.Err)
+	}
+	if want := len(FallbackMatrixPaths()) * 2; len(rep.Cells) != want {
+		t.Fatalf("cells = %d, want %d", len(rep.Cells), want)
+	}
+	for _, k := range []core.Kind{core.KindCHATS, core.KindBaseline} {
+		lock := rep.Cell("lock", k, "cadd")
+		stm := rep.Cell("stm:locks=256", k, "cadd")
+		if lock == nil || stm == nil {
+			t.Fatalf("%s: matrix cells missing", k)
+		}
+		if lock.Stats.Fallbacks == 0 || stm.Stats.Fallbacks == 0 {
+			t.Fatalf("%s: matrix never exercised the fallback paths (lock %d, stm %d)",
+				k, lock.Stats.Fallbacks, stm.Stats.Fallbacks)
+		}
+		if c := lock.Concurrency(); c > 1.0 {
+			t.Errorf("%s: global lock fallback concurrency %.2f > 1 — the lock must serialize", k, c)
+		}
+		if c := stm.Concurrency(); c < 2.0 {
+			t.Errorf("%s: stm fallback concurrency %.2f < 2 — bodies are not overlapping", k, c)
+		}
+	}
+	var buf bytes.Buffer
+	rep.Write(&buf)
+	if !strings.Contains(buf.String(), "fb-conc") || !strings.Contains(buf.String(), "clean") {
+		t.Errorf("report rendering off:\n%s", buf.String())
+	}
+}
+
+// The matrix must be bit-deterministic in the worker count, like the
+// fault soak.
+func TestFallbackMatrixDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the matrix twice")
+	}
+	base := Params{
+		Size:            workloads.Tiny,
+		Machine:         machine.DefaultConfig(),
+		CellCycleBudget: 200_000_000,
+	}
+	p1, pn := base, base
+	p1.Workers = 1
+	pn.Workers = 4
+	r1 := FallbackMatrix(p1, []string{"cadd"})
+	rn := FallbackMatrix(pn, []string{"cadd"})
+	if len(r1.Cells) != len(rn.Cells) {
+		t.Fatalf("cell counts differ: %d vs %d", len(r1.Cells), len(rn.Cells))
+	}
+	for i := range r1.Cells {
+		a, b := r1.Cells[i], rn.Cells[i]
+		if a.Err != nil || b.Err != nil {
+			t.Fatalf("cell %s/%s/%s errored: j1=%v jN=%v", a.Fallback, a.System, a.Bench, a.Err, b.Err)
+		}
+		if a.Stats != b.Stats {
+			t.Errorf("cell %s/%s/%s differs between -j1 and -j4", a.Fallback, a.System, a.Bench)
+		}
+	}
+}
+
+// FaultSoak and FallbackMatrix must persist one record per clean cell
+// when a Recorder is attached (the -store wiring), with the fallback
+// counters present.
+func TestSoakAndMatrixRecord(t *testing.T) {
+	var recs []runstore.Record
+	p := Params{
+		Size:            workloads.Tiny,
+		Machine:         machine.DefaultConfig(),
+		CellCycleBudget: 200_000_000,
+		Recorder:        func(r runstore.Record) { recs = append(recs, r) },
+	}
+	rep := FallbackMatrix(p, []string{"cadd"})
+	if n := len(rep.Cells) - len(rep.Failures()); len(recs) != n {
+		t.Fatalf("matrix recorded %d cells, %d ran clean", len(recs), n)
+	}
+	sawSTM, sawKnob := false, 0
+	for _, r := range recs {
+		if _, ok := r.Counters["fallback_body_cycles"]; !ok {
+			t.Fatalf("record %s/%s lacks fallback_body_cycles", r.System, r.Workload)
+		}
+		if strings.Contains(r.Config, "fb=") {
+			sawKnob++
+		}
+		if r.Counters["fallback_stm_commits"] > 0 {
+			sawSTM = true
+		}
+	}
+	// The lock path is the zero config (its knob key is empty by design);
+	// the stm and elide cells must carry theirs.
+	if want := len(recs) * 2 / 3; sawKnob != want {
+		t.Errorf("%d of %d records carry a fallback knob key, want %d", sawKnob, len(recs), want)
+	}
+	if !sawSTM {
+		t.Error("no record carries STM fallback commits")
+	}
+
+	recs = nil
+	soak := FaultSoak(p, []string{"cadd"})
+	if n := len(soak.Cells) - len(soak.Failures()); len(recs) != n {
+		t.Fatalf("soak recorded %d cells, %d ran clean", len(recs), n)
+	}
+	for _, r := range recs {
+		if r.Counters["faults_injected"] == 0 && r.Counters["commits"] == 0 {
+			t.Errorf("soak record %s/%s looks empty", r.System, r.Workload)
+		}
+	}
+}

@@ -12,7 +12,8 @@ import (
 // CI: N seeded random programs checked on all five systems with the
 // full oracle stack (invariants, accounting, commit-order replay),
 // minimizing any failure. Honors p.Size (generator preset), p.Machine,
-// p.Workers and p.Faults; results are bit-identical at any Workers.
+// p.Workers, p.Faults and p.Recorder (one record per system run, keyed
+// by generator seed); results are bit-identical at any Workers.
 func FuzzSmoke(p Params, start uint64, n int) *difftest.Report {
 	g := randprog.Preset(int(p.Size))
 	g.AddFrac = 0.5 // mix blind stores in: order-sensitive coverage
@@ -24,6 +25,7 @@ func FuzzSmoke(p Params, start uint64, n int) *difftest.Report {
 		Check:    difftest.Options{Machine: &cfg, Seed: cfg.Seed, Faults: p.Faults},
 		Jobs:     p.Workers,
 		Minimize: true,
+		Record:   p.Recorder,
 	})
 }
 

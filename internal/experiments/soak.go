@@ -8,6 +8,7 @@ import (
 	"chats/internal/faults"
 	"chats/internal/invariant"
 	"chats/internal/machine"
+	"chats/internal/runstore"
 	"chats/internal/sweep"
 	"chats/internal/workloads"
 )
@@ -107,6 +108,7 @@ func FaultSoak(p Params, benches []string) *SoakReport {
 		}
 		chk := invariant.New()
 		m.SetTracer(chk)
+		rec := beginCellBench(fmt.Sprintf("%s/%s", c.System, c.Bench))
 		st, err := m.Run(w)
 		if err == nil {
 			err = chk.Err()
@@ -114,6 +116,13 @@ func FaultSoak(p Params, benches []string) *SoakReport {
 		if err != nil {
 			return fmt.Errorf("cell %s/%s (seed %d, faults %q): %w",
 				c.System, c.Bench, cfg.Seed, plan.String(), err)
+		}
+		rec.finish(st.Cycles)
+		if p.Recorder != nil {
+			r := runstore.FromStats(st, string(c.System), cfg.Seed, ConfigKey(nil, cfg),
+				p.Size.String(), rec.bench.WallclockNS, rec.bench.Allocs)
+			r.StampEngine(m.IntraWorkers())
+			p.Recorder(r)
 		}
 		c.Stats = st
 		return nil

@@ -6,8 +6,10 @@ package machine
 
 import (
 	"fmt"
+	"strings"
 
 	"chats/internal/faults"
+	"chats/internal/htm"
 )
 
 // Config carries the Table I system parameters plus the simulator knobs
@@ -42,6 +44,25 @@ type Config struct {
 
 	// BackoffBase scales the randomized retry backoff after an abort.
 	BackoffBase uint64
+
+	// Backoff selects the randomized backoff variant (exponential,
+	// capped-linear, full-jitter) applied on top of BackoffBase. The
+	// zero value is the historical exponential formula, bit-identical
+	// to before the knob existed.
+	Backoff BackoffConfig
+
+	// Fallback selects the software fallback path taken when a thread
+	// gives up on hardware speculation: the global lock (zero-value
+	// default), the word-granular STM path, or lock elision with
+	// per-core retry budgets.
+	Fallback FallbackConfig
+
+	// CM selects the contention manager making the post-abort
+	// speculate/wait/fallback decision. The zero value is the fixed
+	// manager (wait with backoff, fall back past the policy's retry
+	// budget); the adaptive manager decides online per core and per
+	// hot line, and forces the serial engine like tracers do.
+	CM htm.CMConfig
 
 	// NackRetryDelay is the requester-stall retry period; NackRetryLimit
 	// bounds retries before the transaction gives up (escape from
@@ -139,5 +160,34 @@ func (c Config) Validate() error {
 			return err
 		}
 	}
+	if err := c.Backoff.Validate(); err != nil {
+		return fmt.Errorf("machine: %w", err)
+	}
+	if err := c.Fallback.Validate(); err != nil {
+		return fmt.Errorf("machine: %w", err)
+	}
+	if err := c.CM.Validate(); err != nil {
+		return fmt.Errorf("machine: %w", err)
+	}
 	return nil
+}
+
+// KnobsKey renders the non-default fallback/CM/backoff knobs as a
+// short spec fragment for record keys and cell labels; empty for a
+// default config, so existing keys are unchanged.
+func (c Config) KnobsKey() string {
+	var parts []string
+	if c.Fallback.Kind != FallbackLock || c.Fallback != (FallbackConfig{}) {
+		parts = append(parts, "fb="+c.Fallback.String())
+	}
+	if c.CM.Kind != htm.CMFixed {
+		parts = append(parts, "cm="+c.CM.String())
+	}
+	if c.Backoff != (BackoffConfig{}) {
+		parts = append(parts, "bo="+c.Backoff.String())
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return strings.Join(parts, " ")
 }

@@ -24,6 +24,9 @@ func (m *Machine) emitBegin(core, attempt int, power bool) {
 }
 
 func (m *Machine) emitCommit(core, consumed int) {
+	if m.cm != nil {
+		m.cm.NoteCommit(core)
+	}
 	if m.ring != nil {
 		m.ring.add(ringEvent{cycle: m.eng.Now(), kind: ringCommit, core: core})
 	}
@@ -33,11 +36,27 @@ func (m *Machine) emitCommit(core, consumed int) {
 }
 
 func (m *Machine) emitAbort(core int, cause htm.AbortCause) {
+	if m.cm != nil {
+		m.cm.NoteAbort(core)
+	}
 	if m.ring != nil {
 		m.ring.add(ringEvent{cycle: m.eng.Now(), kind: ringAbort, core: core, s: cause.String()})
 	}
 	if m.tracer != nil {
 		m.tracer.TxAbort(m.eng.Now(), core, cause)
+	}
+}
+
+// emitCMDecision records one post-abort contention-manager verdict.
+// It is called from thread-side code, which is safe: the ring and any
+// tracer force the serial engine, and the engine worker is blocked in
+// this thread's rendezvous while it runs.
+func (m *Machine) emitCMDecision(core int, act htm.CMAction) {
+	if m.ring != nil {
+		m.ring.add(ringEvent{cycle: m.eng.Now(), kind: ringCM, core: core, s: act.String()})
+	}
+	if m.cmtracer != nil {
+		m.cmtracer.CMDecision(m.eng.Now(), core, act)
 	}
 }
 

@@ -52,9 +52,20 @@ type Machine struct {
 	optracer    OpTracer    // ditto for the op-level stream
 	ftracer     FaultTracer // ditto for injected-fault events
 	checker     RunChecker  // ditto for the run-lifecycle hooks
+	cmtracer    CMTracer    // ditto for contention-manager decisions
 
 	inj  *faults.Injector
 	ring *eventRing // recent-event buffer for watchdog diagnostics
+
+	// cm is the adaptive contention manager (nil under the fixed
+	// manager). Its shared per-core/per-line state is only safe on the
+	// serial engine, which EffectiveIntraWorkers forces.
+	cm *htm.AdaptiveCM
+	// stmLock is the STM fallback path's version-lock table: one word
+	// per entry, each on its own line, hashed by data word address.
+	// Allocated only when Fallback.Kind == FallbackSTM so other
+	// layouts are byte-identical to before.
+	stmLock []mem.Addr
 
 	stats RunStats
 }
@@ -105,6 +116,18 @@ func New(cfg Config, policy htm.Policy) (*Machine, error) {
 	alloc := mem.NewAllocator(0)
 	m.lockAddr = alloc.LineAligned(1) // fallback lock on its own line
 	m.lockLine = m.lockAddr.Line()
+	if cfg.Fallback.Kind == FallbackSTM {
+		n := cfg.Fallback.stmLocks()
+		m.stmLock = make([]mem.Addr, n)
+		for i := range m.stmLock {
+			m.stmLock[i] = alloc.LineAligned(1)
+		}
+	}
+	if cfg.CM.Kind != htm.CMFixed {
+		// Dedicated PRNG stream, like the fault injector: the adaptive
+		// waits must never reshuffle workload or fault draws.
+		m.cm = htm.NewAdaptiveCM(cfg.CM, cfg.Cores, sim.NewRand(cfg.Seed*9176156071+77))
+	}
 	m.world = &World{Mem: m.memory, Alloc: alloc}
 
 	cores := make([]coherence.Core, cfg.Cores)
@@ -163,17 +186,25 @@ func EffectiveIntraWorkers(cfg Config, traced, usesPower bool) int {
 	}
 	if traced || usesPower ||
 		(cfg.Faults != nil && cfg.Faults.Enabled()) ||
-		cfg.WatchdogCycles > 0 || cfg.MaxAttempts > 0 {
+		cfg.WatchdogCycles > 0 || cfg.MaxAttempts > 0 ||
+		cfg.CM.Kind != htm.CMFixed {
 		return 1
 	}
 	return cfg.IntraWorkers
+}
+
+// stmVerAddr maps a data word address onto its STM version lock
+// (multiplicative hash; collisions just share a lock).
+func (m *Machine) stmVerAddr(a mem.Addr) mem.Addr {
+	h := (uint64(a) >> 3) * 0x9E3779B97F4A7C15
+	return m.stmLock[(h>>32)%uint64(len(m.stmLock))]
 }
 
 // forceSerial reports whether this run must use the serial engine even
 // when cfg.IntraWorkers > 1.
 func (m *Machine) forceSerial() bool {
 	traced := m.tracer != nil || m.xtracer != nil || m.optracer != nil ||
-		m.ftracer != nil || m.checker != nil
+		m.ftracer != nil || m.checker != nil || m.cmtracer != nil
 	return EffectiveIntraWorkers(m.cfg, traced, m.policy.Traits().UsesPower) == 1
 }
 

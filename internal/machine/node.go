@@ -103,6 +103,13 @@ type Node struct {
 	// validatedThisTx counts VSB entries validated by the current
 	// transaction (reported through the tracer at commit).
 	validatedThisTx int
+
+	// Fallback-occupancy clock: fbStart is when this core's current
+	// fallback section opened (the STM body start, or the lock-path
+	// EnterFallback); the close at ExitFallback adds the interval to
+	// the FallbackBodyCycles shard. Engine-side only.
+	fbStart  uint64
+	fbTiming bool
 }
 
 func newNode(id int, m *Machine, policy htm.Policy) *Node {

@@ -41,7 +41,15 @@ func (n *Node) HandleProbe(p coherence.Probe) {
 	n.tx.Conflicted = true
 	n.stats.ProbeConflicts++
 	dec, pic := htm.DecideAbort, coherence.PiCNone
-	if p.Req.IsTx {
+	if p.Req.IsTx && p.Kind != coherence.InvProbe &&
+		n.m.cm != nil && n.m.cm.OverrideNack(line) {
+		// Adaptive hot-line override, checked before the policy runs so
+		// its PiC bookkeeping is never corrupted by a bypassed verdict:
+		// on a line with heavy recent abort traffic, stall the requester
+		// instead of killing the current owner.
+		n.stats.CMHotNacks++
+		dec = htm.DecideNack
+	} else if p.Req.IsTx {
 		pc := htm.ProbeContext{
 			Line:           line,
 			Kind:           p.Kind,
@@ -77,6 +85,9 @@ func (n *Node) HandleProbe(p coherence.Probe) {
 		cause := htm.CauseConflict
 		if !p.Req.IsTx && line == n.m.lockLine {
 			cause = htm.CauseLock
+		}
+		if n.m.cm != nil && cause == htm.CauseConflict {
+			n.m.cm.NoteLineAbort(line)
 		}
 		n.abortTx(cause)
 		n.replyNormal(p, n.l1.Peek(line)) // SM lines are gone now

@@ -68,6 +68,7 @@ const (
 	opExitFallback
 	opAcquirePower
 	opReleasePower
+	opFallbackBodyStart
 )
 
 type opReq struct {
@@ -130,6 +131,12 @@ type tctx struct {
 	done      bool
 	req       opReq // the op in flight (valid while pendingOp)
 	timer     tctxTimer
+
+	// Fallback-path state (thread-side): the reusable STM descriptor
+	// (lazily built on first software fallback) and the elide path's
+	// remaining retry budget.
+	stm   *stmTx
+	elide int
 }
 
 // finish completes the pending op: reply to the thread and block for its
@@ -232,6 +239,9 @@ func (r *runner) run(w Workload) error {
 			replyCh: make(chan opReply),
 		}
 		t.timer.t = t
+		if r.m.cfg.Fallback.Kind == FallbackElide {
+			t.elide = r.m.cfg.Fallback.elideBudget()
+		}
 		r.threads = append(r.threads, t)
 	}
 	var wg sync.WaitGroup
@@ -343,6 +353,10 @@ func (r *runner) dispatch(t *tctx, req opReq) {
 		n.sched.ScheduleRunner(m.cfg.AbortLatency, &t.timer)
 	case opEnterFallback:
 		n.EnterFallback()
+		if !n.fbTiming {
+			n.fbTiming = true
+			n.fbStart = m.eng.Now()
+		}
 		delay := uint64(1)
 		if m.inj != nil {
 			if d := m.inj.LockBurstDelay(); d > 0 {
@@ -357,7 +371,22 @@ func (r *runner) dispatch(t *tctx, req opReq) {
 		n.sched.ScheduleRunner(delay, &t.timer)
 	case opExitFallback:
 		n.ExitFallback()
+		if n.fbTiming {
+			n.stats.FallbackBodyCycles += m.eng.Now() - n.fbStart
+			n.fbTiming = false
+		}
 		t.timer.op = opExitFallback
+		t.timer.ok = true
+		n.sched.ScheduleRunner(1, &t.timer)
+	case opFallbackBodyStart:
+		// The STM path opens its occupancy window at body start, so
+		// overlapping software fallbacks measure as concurrency; the
+		// lock path opens it at opEnterFallback instead.
+		if !n.fbTiming {
+			n.fbTiming = true
+			n.fbStart = m.eng.Now()
+		}
+		t.timer.op = opFallbackBodyStart
 		t.timer.ok = true
 		n.sched.ScheduleRunner(1, &t.timer)
 	case opAcquirePower:
@@ -407,10 +436,11 @@ func (t *tctx) Work(n uint64) {
 const maxBackoffDelay = 1 << 32
 
 // backoff computes the randomized retry delay after the given number of
-// aborts. It always draws exactly once from the thread PRNG so the
-// random stream — and with it run determinism — is independent of the
-// clamping. For the default BackoffBase the result is bit-identical to
-// the unclamped formula.
+// aborts, per the configured backoff variant. Every variant draws
+// exactly once from the thread PRNG so the random stream — and with it
+// run determinism — is independent of both the clamping and the
+// variant. The default (exponential, Cap 0) is bit-identical to the
+// historical formula.
 func (t *tctx) backoff(aborts int) uint64 {
 	shift := aborts
 	if shift > 5 {
@@ -420,22 +450,54 @@ func (t *tctx) backoff(aborts int) uint64 {
 	if base > maxBackoffDelay {
 		base = maxBackoffDelay
 	}
-	d := base << uint(shift)
-	if d > maxBackoffDelay {
-		d = maxBackoffDelay
+	bc := t.r.m.cfg.Backoff
+	cap := bc.Cap
+	if cap == 0 || cap > maxBackoffDelay {
+		cap = maxBackoffDelay
 	}
-	return d + t.rng.Uint64n(base+1)
+	switch bc.Kind {
+	case BackoffLinear:
+		n := uint64(aborts)
+		if n > 64 {
+			n = 64
+		}
+		d := base * n
+		if d > cap {
+			d = cap
+		}
+		return d + t.rng.Uint64n(base+1)
+	case BackoffJitter:
+		d := base << uint(shift)
+		if d > cap {
+			d = cap
+		}
+		return t.rng.Uint64n(d + 1)
+	default:
+		d := base << uint(shift)
+		if d > cap {
+			d = cap
+		}
+		return d + t.rng.Uint64n(base+1)
+	}
 }
 
-// Atomic implements the retry / power-token / fallback-lock state
-// machine of Section VI-D around the hardware transaction.
+// Atomic implements the retry / power-token / fallback state machine
+// of Section VI-D around the hardware transaction. The fixed
+// contention manager reproduces the paper's loop exactly (wait with
+// randomized backoff after every abort, fall back past the policy's
+// retry budget); the adaptive manager replaces the fixed retry budget
+// with its online speculate/wait/fallback verdict. Which software path
+// the fallback takes — global lock, STM, or elision — is the machine's
+// Fallback config.
 func (t *tctx) Atomic(body func(tx Tx)) {
 	traits := t.node.policy.Traits()
+	m := t.r.m
 	totalAborts := 0
 	contentionAborts := 0
 	powerMode := false
 	powerAttempts := 0
 	attempt := 0
+	earlyFallback := false
 	for {
 		if traits.UsesPower && !powerMode &&
 			(contentionAborts >= traits.PowerAfterAborts || totalAborts >= traits.Retries) {
@@ -443,14 +505,19 @@ func (t *tctx) Atomic(body func(tx Tx)) {
 			// normally and try again after the next abort.
 			powerMode = t.do(opReq{kind: opAcquirePower}).ok
 		}
-		useLock := false
-		if powerMode {
-			useLock = powerAttempts >= t.r.m.cfg.PowerAttemptLimit
-		} else if !traits.UsesPower {
-			useLock = totalAborts > traits.Retries
+		useLock := earlyFallback
+		if !useLock {
+			if powerMode {
+				useLock = powerAttempts >= m.cfg.PowerAttemptLimit
+			} else if !traits.UsesPower && m.cm == nil {
+				useLock = totalAborts > traits.Retries
+			}
+			if useLock && t.elideExtend() {
+				useLock = false // spent elide budget on one more attempt
+			}
 		}
 		if useLock {
-			t.fallbackLock(body)
+			t.runFallback(body)
 			if powerMode {
 				t.do(opReq{kind: opReleasePower})
 			}
@@ -465,6 +532,7 @@ func (t *tctx) Atomic(body func(tx Tx)) {
 		}
 		committed, cause := t.runSpec(body)
 		if committed {
+			t.noteCommitBudget()
 			return // a power commit released the token engine-side
 		}
 		if cause != htm.CauseLock {
@@ -473,7 +541,27 @@ func (t *tctx) Atomic(body func(tx Tx)) {
 			case htm.CauseConflict, htm.CauseValidation, htm.CauseCycle, htm.CauseStall:
 				contentionAborts++
 			}
-			t.do(opReq{kind: opWork, val: t.backoff(totalAborts)})
+			act := htm.CMWait
+			if m.cm != nil {
+				act = m.cm.Decide(t.tid)
+			}
+			m.emitCMDecision(t.node.id, act)
+			switch act {
+			case htm.CMSpeculate:
+				t.node.stats.CMSpecs++
+			case htm.CMFallback:
+				t.node.stats.CMFallbacks++
+				earlyFallback = true
+			default:
+				t.node.stats.CMWaits++
+				d := t.backoff(totalAborts)
+				if m.cm != nil {
+					// The adaptive wait draws from the manager's
+					// dedicated stream, not the thread PRNG.
+					d = m.cm.WaitDelay(t.tid)
+				}
+				t.do(opReq{kind: opWork, val: d})
+			}
 		}
 	}
 }

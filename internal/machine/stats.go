@@ -49,6 +49,24 @@ type RunStats struct {
 	SpecDropReject uint64 // consumer-side policy rejection (cycle race)
 	NackRetries    uint64
 
+	// Fallback-path breakdown. FallbackBodyCycles sums, over all
+	// cores, the cycles each core spent inside an open fallback
+	// section (STM body start / lock acquisition through exit), so
+	// FallbackBodyCycles/Cycles is the average fallback concurrency:
+	// ≤ 1 when fallbacks serialize behind the global lock, > 1 when
+	// the STM path overlaps non-conflicting software transactions.
+	FallbackSTMCommits   uint64 // STM fallbacks committed optimistically
+	FallbackSTMRetries   uint64 // STM body re-executions (validation/budget)
+	FallbackElideExtends uint64 // lock acquisitions converted to extra attempts
+	FallbackBodyCycles   uint64
+
+	// Contention-manager decision counts (the fixed manager always
+	// waits; the adaptive manager splits across all three).
+	CMWaits     uint64
+	CMSpecs     uint64
+	CMFallbacks uint64
+	CMHotNacks  uint64 // probes NACKed by the hot-line override
+
 	// FaultsInjected counts every injected fault across all kinds (zero
 	// without a fault plan). Its presence in the comparable struct makes
 	// the -j1/-jN determinism tests cover the fault schedule too.
@@ -84,6 +102,14 @@ func (s *RunStats) addShard(o *RunStats) {
 	s.SpecDropVSB += o.SpecDropVSB
 	s.SpecDropReject += o.SpecDropReject
 	s.NackRetries += o.NackRetries
+	s.FallbackSTMCommits += o.FallbackSTMCommits
+	s.FallbackSTMRetries += o.FallbackSTMRetries
+	s.FallbackElideExtends += o.FallbackElideExtends
+	s.FallbackBodyCycles += o.FallbackBodyCycles
+	s.CMWaits += o.CMWaits
+	s.CMSpecs += o.CMSpecs
+	s.CMFallbacks += o.CMFallbacks
+	s.CMHotNacks += o.CMHotNacks
 }
 
 // AbortRate returns aborts per executed transaction attempt.

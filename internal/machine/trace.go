@@ -92,6 +92,14 @@ type FaultTracer interface {
 	FaultInjected(cycle uint64, core int, kind string)
 }
 
+// CMTracer is an optional Tracer extension receiving every post-abort
+// contention-manager decision (wait, speculate, or fallback) — the
+// fixed manager reports waits only. Resolved once at SetTracer, like
+// XTracer.
+type CMTracer interface {
+	CMDecision(cycle uint64, core int, act htm.CMAction)
+}
+
 // RunChecker is an optional Tracer extension hooked into the run
 // lifecycle: BeginRun fires after Workload.Setup (simulated memory laid
 // out, no thread started), EndRun after the caches are flushed back to
@@ -112,6 +120,7 @@ func (m *Machine) SetTracer(t Tracer) {
 	m.optracer = nil
 	m.ftracer = nil
 	m.checker = nil
+	m.cmtracer = nil
 	if t != nil {
 		if x, ok := t.(XTracer); ok {
 			m.xtracer = x
@@ -124,6 +133,9 @@ func (m *Machine) SetTracer(t Tracer) {
 		}
 		if c, ok := t.(RunChecker); ok {
 			m.checker = c
+		}
+		if c, ok := t.(CMTracer); ok {
+			m.cmtracer = c
 		}
 	}
 	for _, n := range m.nodes {

@@ -28,6 +28,7 @@ const (
 	ringNack
 	ringFault
 	ringOp
+	ringCM
 )
 
 // ringEvent is one fixed-size slot; all fields are values so recording
@@ -66,6 +67,8 @@ func (e ringEvent) String() string {
 		return fmt.Sprintf("%d core%d fault %s", e.cycle, e.core, e.s)
 	case ringOp:
 		return fmt.Sprintf("%d core%d %s %v", e.cycle, e.core, e.s, e.line)
+	case ringCM:
+		return fmt.Sprintf("%d core%d cm-decision %s", e.cycle, e.core, e.s)
 	}
 	return fmt.Sprintf("%d ringEvent(%d)", e.cycle, e.kind)
 }

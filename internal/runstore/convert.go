@@ -47,6 +47,14 @@ func FromStats(st machine.RunStats, system string, seed uint64, config, size str
 			"l1_misses":            st.L1Misses,
 			"nack_retries":         st.NackRetries,
 			"faults_injected":      st.FaultsInjected,
+			"fallback_stm_commits": st.FallbackSTMCommits,
+			"fallback_stm_retries": st.FallbackSTMRetries,
+			"fallback_elide_exts":  st.FallbackElideExtends,
+			"fallback_body_cycles": st.FallbackBodyCycles,
+			"cm_waits":             st.CMWaits,
+			"cm_specs":             st.CMSpecs,
+			"cm_fallbacks":         st.CMFallbacks,
+			"cm_hot_nacks":         st.CMHotNacks,
 		},
 		ByCause: byCause(st),
 	}

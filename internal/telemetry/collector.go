@@ -228,6 +228,16 @@ func (c *Collector) VSBOccupancy(cycle uint64, core, occ int) {
 	c.record(Event{Cycle: cycle, Kind: KindVSB, Core: core, Peer: -1, Occ: occ})
 }
 
+// ---------- machine.CMTracer ----------
+
+// CMDecision counts one post-abort contention-manager verdict under
+// "cm/wait", "cm/spec" or "cm/fallback" — the per-path breakdown the
+// adaptive-manager drill-down reads. Counter-only: decisions are dense
+// and carry no line, so they stay out of the retained event buffer.
+func (c *Collector) CMDecision(cycle uint64, core int, act htm.CMAction) {
+	c.Reg.Counter("cm/" + act.String()).Inc()
+}
+
 // ---------- machine.FaultTracer ----------
 
 // FaultInjected records one injected fault (core is -1 for faults not
