@@ -176,6 +176,7 @@ func diff(w *os.File, oldRep, newRep *experiments.BenchReport, maxRegress float6
 	fmt.Fprintf(w, "%-34s %11s %11s %6.2fx %12s %12s %6.2fx %9s\n",
 		"geomean", "", "", geomean(wallRatios), "", "", geomean(allocRatios), "")
 	fmt.Fprintf(w, "\ngeomean over %d common cells (old/new, >1 = new is better)\n", len(names))
+	reportWaves(w, names, oldCells, newCells)
 	fmt.Fprintf(w, "total wall clock: %.1fs -> %.1fs (old -j %d, new -j %d)\n",
 		float64(oldRep.TotalWallclockNS)/1e9, float64(newRep.TotalWallclockNS)/1e9,
 		oldRep.Workers, newRep.Workers)
@@ -195,6 +196,26 @@ func diff(w *os.File, oldRep, newRep *experiments.BenchReport, maxRegress float6
 		code = 1
 	}
 	return code
+}
+
+// reportWaves prints the average parallel batch width (events per
+// wave) on each side when both carry the wave counters. Purely
+// informational — wave shape is an engine property, not a correctness
+// one, so it never affects the exit code.
+func reportWaves(w *os.File, names []string, oldCells, newCells map[string]experiments.CellBench) {
+	var oe, ow, ne, nw uint64
+	for _, n := range names {
+		o, nc := oldCells[n], newCells[n]
+		oe += o.WaveEvents
+		ow += o.Waves
+		ne += nc.WaveEvents
+		nw += nc.Waves
+	}
+	if ow == 0 || nw == 0 {
+		return
+	}
+	fmt.Fprintf(w, "events/wave: %.2f -> %.2f (parallel batch width, informational)\n",
+		float64(oe)/float64(ow), float64(ne)/float64(nw))
 }
 
 func byName(cells []experiments.CellBench) map[string]experiments.CellBench {

@@ -45,6 +45,8 @@ func main() {
 		storeDir  = flag.String("store", "", "record every simulation into the run database at this directory")
 		progress  = flag.Bool("progress", false, "print a live done/total cell count to stderr while each grid runs")
 		benchBig  = flag.Bool("bench-large", false, "instead of figures, run the large-machine (64-core) bench grid serially and write it with -bench-json — pair -intra-j 1 and -intra-j 4 runs to measure intra-run parallelism")
+		benchScl  = flag.Bool("bench-scale", false, "instead of figures, run the directory-scaling grid (CHATS on kmeans/cadd at 64 and 256 cores) serially and write it with -bench-json — pair runs at different -dir-banks to measure bank-level parallel coverage")
+		dirBanks  = flag.Int("dir-banks", 0, "address-interleaved directory banks for every simulation, power of two (0/1 = one bank; results are identical at any count)")
 		soak      = flag.Bool("faults-soak", false, "instead of figures, run every system × micro bench under the fault plan with invariants and the watchdog on")
 		faultSpec = flag.String("faults", "", "fault spec for -faults-soak (default: the canonical all-kinds soak plan)")
 		fbMatrix  = flag.Bool("fallback-matrix", false, "instead of figures, sweep fallback path × system × micro bench under a lockburst plan (graceful-degradation check)")
@@ -78,6 +80,7 @@ func main() {
 	// its own path axis, so it only honors -cm and -backoff.
 	applyKnobs := func(cfg *machine.Config) {
 		var err error
+		cfg.DirBanks = *dirBanks
 		if *fallback != "" {
 			if cfg.Fallback, err = machine.ParseFallback(*fallback); err != nil {
 				fatal(err)
@@ -140,7 +143,16 @@ func main() {
 		if *benchJSON == "" {
 			fatal(fmt.Errorf("-bench-large needs -bench-json FILE"))
 		}
-		if err := runLargeBench(sz, *seed, *intraJobs, *benchJSON); err != nil {
+		if err := runLargeBench(sz, *seed, *intraJobs, *dirBanks, *benchJSON); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *benchScl {
+		if *benchJSON == "" {
+			fatal(fmt.Errorf("-bench-scale needs -bench-json FILE"))
+		}
+		if err := runScaleBench(sz, *seed, *intraJobs, *dirBanks, *benchJSON); err != nil {
 			fatal(err)
 		}
 		return
@@ -306,11 +318,12 @@ func main() {
 // concurrently) and writes the trajectory. Diff an -intra-j 1 run
 // against an -intra-j 4 run with benchdiff to see the intra-run
 // speedup.
-func runLargeBench(sz workloads.Size, seed uint64, intra int, out string) error {
+func runLargeBench(sz workloads.Size, seed uint64, intra, banks int, out string) error {
 	p := experiments.Params{Size: sz, Machine: machine.DefaultConfig(), Workers: 1}
 	p.Machine.Seed = seed
 	p.Machine.Cores = experiments.LargeBenchCores
 	p.Machine.IntraWorkers = intra
+	p.Machine.DirBanks = banks
 	suite := experiments.NewSuite(p)
 	start := time.Now()
 	if err := suite.RunLargeBench(); err != nil {
@@ -325,6 +338,33 @@ func runLargeBench(sz workloads.Size, seed uint64, intra int, out string) error 
 	}
 	fmt.Fprintf(os.Stderr, "large bench: %d cells at %d cores, intra-j %d -> %s\n",
 		suite.Runs, experiments.LargeBenchCores, intra, out)
+	return f.Close()
+}
+
+// runScaleBench runs the directory-scaling grid serially (like
+// runLargeBench, the wall-clock and alloc numbers are the point) and
+// writes the trajectory. Pair runs at different -dir-banks with
+// benchdiff: cycles must match bit-for-bit, the events-per-wave row
+// shows the parallel-coverage gain.
+func runScaleBench(sz workloads.Size, seed uint64, intra, banks int, out string) error {
+	p := experiments.Params{Size: sz, Machine: machine.DefaultConfig(), Workers: 1}
+	p.Machine.Seed = seed
+	p.Machine.IntraWorkers = intra
+	p.Machine.DirBanks = banks
+	start := time.Now()
+	cells, runs, err := experiments.RunScaleBench(p)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := experiments.WriteBenchCells(f, cells, 1, sz.String(), runs, time.Since(start), runstore.NowMeta()); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "scale bench: %d cells, dir-banks %d, intra-j %d -> %s\n",
+		runs, banks, intra, out)
 	return f.Close()
 }
 

@@ -167,6 +167,7 @@ func (m *jobManager) Start(req sweepRequest) (job, error) {
 			rec := runstore.FromStats(st, string(cells[i].kind), req.Seed,
 				experiments.TraitsKey(nil), req.Size, time.Since(start).Nanoseconds(), 0)
 			rec.StampEngine(chats.EffectiveIntraWorkers(cfg, req.Telemetry))
+			rec.StampDirBanks(cfg.Machine.DirBanks)
 			if col != nil {
 				runstore.AttachTelemetry(&rec, col, 16)
 			}

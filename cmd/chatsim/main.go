@@ -75,6 +75,7 @@ func main() {
 		sweepBench  = flag.String("benches", "", "comma-separated benchmarks for -sweep (default: all)")
 		jobs        = flag.Int("j", 0, "cells to run in parallel with -sweep (0 = host cores / intra-j; results are identical at any -j)")
 		intraJobs   = flag.Int("intra-j", 1, "engine workers per run: same-cycle events of distinct cores execute concurrently (results are identical at any -intra-j; 1 = serial engine)")
+		dirBanks    = flag.Int("dir-banks", 0, "address-interleaved directory banks, power of two (0/1 = one bank; results are identical at any count, >1 adds parallel coverage under -intra-j)")
 		dumpConfig  = flag.Bool("dump-config", false, "print Table I and exit")
 		dumpSystems = flag.Bool("dump-systems", false, "print Table II and exit")
 		list        = flag.Bool("list", false, "list benchmarks and systems and exit")
@@ -95,6 +96,7 @@ func main() {
 	cfg.Machine.WatchdogCycles = *wdCycles
 	cfg.Machine.MaxAttempts = *maxAttempts
 	cfg.Machine.IntraWorkers = *intraJobs
+	cfg.Machine.DirBanks = *dirBanks
 	if *faultSpec != "" {
 		spec := *faultSpec
 		if spec == "soak" {
@@ -250,6 +252,7 @@ func main() {
 	if store != nil {
 		rec := runstore.FromStats(st, string(cfg.System), cfg.Machine.Seed, experiments.TraitsKey(cfg.Traits), *size, wallNS, allocs)
 		rec.StampEngine(chats.EffectiveIntraWorkers(cfg, len(tracers) > 0))
+		rec.StampDirBanks(cfg.Machine.DirBanks)
 		if col != nil {
 			runstore.AttachTelemetry(&rec, col, 16)
 		}
@@ -273,6 +276,9 @@ func main() {
 		}
 		if *hotLines > 0 {
 			col.WriteHotLineReport(os.Stdout, *hotLines)
+			if cfg.Machine.DirBanks > 1 {
+				col.WriteBankOccupancyReport(os.Stdout, cfg.Machine.DirBanks)
+			}
 		}
 		if *chainRep {
 			col.Chain().Fprint(os.Stdout)
@@ -419,6 +425,7 @@ func runSweep(base chats.Config, systems, benches, size string, jobs, retries, v
 			rec := runstore.FromStats(st, string(cells[i].cfg.System), cells[i].cfg.Machine.Seed,
 				experiments.TraitsKey(cells[i].cfg.Traits), size, wallNS, allocs)
 			rec.StampEngine(chats.EffectiveIntraWorkers(cells[i].cfg, invariants))
+			rec.StampDirBanks(cells[i].cfg.Machine.DirBanks)
 			record(rec)
 		}
 		results[i] = st

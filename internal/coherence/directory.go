@@ -8,7 +8,17 @@ import (
 	"chats/internal/sim"
 )
 
-// Config holds the directory/memory timing parameters (Table I).
+// MaxCores is the widest sharer set the directory tracks (sharerSet is a
+// fixed 256-bit set so line metadata stays pointer-free and poolable).
+const MaxCores = 256
+
+// MaxBanks caps the bank count at the memory shard count, so two lines
+// owned by different banks always live in different mem.Memory shards
+// and concurrently executing banks never share a map.
+const MaxBanks = 256
+
+// Config holds the directory/memory timing parameters (Table I) and the
+// bank layout.
 type Config struct {
 	// LLCLatency is the shared-LLC/directory access latency charged on
 	// every request that reaches the directory.
@@ -16,6 +26,19 @@ type Config struct {
 	// DRAMLatency is charged the first time a line is touched (cold miss
 	// filled from main memory).
 	DRAMLatency uint64
+
+	// Banks is the number of independent address-interleaved directory
+	// banks (power of two, <= MaxBanks; 0 means 1). Each bank owns the
+	// full per-line state — MESI entry, blocking queue, in-flight flow
+	// pools — for the lines hashing to it, so banks never share mutable
+	// state.
+	Banks int
+	// FirstDomain, when non-zero, gives bank i the scheduling domain
+	// FirstDomain+i so directory actions for distinct banks run in
+	// parallel under the intra-run parallel engine. Zero keeps every
+	// bank on sim.DomainSerial (bit-identical, fully serial — the
+	// correct default for direct-construction tests).
+	FirstDomain sim.Domain
 }
 
 // Stats counts directory activity.
@@ -30,6 +53,23 @@ type Stats struct {
 	DRAMFills   uint64
 }
 
+// add folds o into s.
+func (s *Stats) add(o *Stats) {
+	s.GetS += o.GetS
+	s.GetX += o.GetX
+	s.Forwards += o.Forwards
+	s.Invs += o.Invs
+	s.SpecCancels += o.SpecCancels
+	s.Nacks += o.Nacks
+	s.Writebacks += o.Writebacks
+	s.DRAMFills += o.DRAMFills
+}
+
+// BankOf returns the bank in [0, banks) owning the line containing a.
+// banks must be a power of two <= MaxBanks. It is mem.LineShard, the one
+// address hash shared with the memory's internal sharding.
+func BankOf(a mem.Addr, banks int) int { return mem.LineShard(a, banks) }
+
 type dirState uint8
 
 const (
@@ -37,6 +77,35 @@ const (
 	dirS
 	dirE // exclusive at owner (cache side may be E or M)
 )
+
+// sharerSet is a fixed bitset over core IDs (up to MaxCores).
+type sharerSet [MaxCores / 64]uint64
+
+func (s *sharerSet) set(i int)      { s[i>>6] |= 1 << uint(i&63) }
+func (s *sharerSet) clear(i int)    { s[i>>6] &^= 1 << uint(i&63) }
+func (s *sharerSet) has(i int) bool { return s[i>>6]&(1<<uint(i&63)) != 0 }
+
+func (s *sharerSet) empty() bool {
+	for _, w := range s {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// onlyMember reports whether no core other than id is in the set.
+func (s *sharerSet) onlyMember(id int) bool {
+	for w, word := range s {
+		if w == id>>6 {
+			word &^= 1 << uint(id&63)
+		}
+		if word != 0 {
+			return false
+		}
+	}
+	return true
+}
 
 // queuedReq is one request parked behind a busy line.
 type queuedReq struct {
@@ -49,28 +118,25 @@ type queuedReq struct {
 type dirLine struct {
 	state   dirState
 	owner   int
-	sharers uint64 // bitset
+	sharers sharerSet
 	busy    bool
 	queue   []queuedReq
 	inLLC   bool
 }
 
-// Directory is the home node for every line: MESI state, the LLC/memory
-// data image, and the blocking request queue per line.
-type Directory struct {
-	eng *sim.Engine
-	// sched stamps the directory's internal flow events with its domain.
-	// Today that is the engine's serial domain — every directory event
-	// runs alone under intra-run parallelism — but all internal
-	// scheduling goes through this seam so per-bank domains only need a
-	// handle per bank, not another call-site audit.
-	sched  sim.Sched
-	net    *network.Network
-	memory *mem.Memory
-	cores  []Core
-	cfg    Config
-	lines  map[mem.Addr]*dirLine
-	Stats  Stats
+// dirBank is one address-interleaved home-node bank. It owns every line
+// hashing to it — MESI state, the blocking request queue, the in-flight
+// flow objects and their free lists, a Stats shard, and a network
+// endpoint — so two banks share no mutable state and their events can
+// execute concurrently in distinct domains.
+type dirBank struct {
+	d     *Directory
+	idx   int
+	dom   sim.Domain
+	sched sim.Sched
+	ep    network.Endpoint
+	lines map[mem.Addr]*dirLine
+	stats Stats
 
 	// Free lists for the pooled flow/message objects below. Every
 	// request hop used to capture its state in a fresh closure; the
@@ -81,48 +147,135 @@ type Directory struct {
 	freeInvC []*invCollect
 	freeInvT []*invTarget
 
+	// forceNack, when non-nil, overrides the Directory-wide ForceNack
+	// seam for this bank only (fault plans with a bank= selector).
+	forceNack func(req ReqInfo) bool
+}
+
+// Directory is the home node for every line: MESI state, the LLC/memory
+// data image, and the blocking request queue per line, sharded into
+// independent address-interleaved banks. The public API is unchanged
+// from the single-bank directory — every call dispatches on the line
+// address — and a 1-bank directory behaves exactly as before.
+type Directory struct {
+	eng    *sim.Engine
+	net    *network.Network
+	memory *mem.Memory
+	cores  []Core
+	cfg    Config
+	banks  []*dirBank
+
 	// ForceNack, when non-nil, is consulted for every transactional
 	// request before it is admitted; returning true bounces the request
 	// with RespNack without touching line state. The fault injector uses
 	// it to model an overloaded home node. Non-transactional requests are
 	// never force-nacked: the machine's non-speculative paths do not
-	// retry nacks, and sparing them preserves forward progress.
+	// retry nacks, and sparing them preserves forward progress. A
+	// per-bank override installed with SetBankForceNack takes precedence
+	// for its bank.
 	ForceNack func(req ReqInfo) bool
 }
 
 // NewDirectory builds the home node. cores may be populated later via
 // AttachCores (the machine wires cores and directory together).
 func NewDirectory(eng *sim.Engine, net *network.Network, memory *mem.Memory, cfg Config) *Directory {
-	return &Directory{
-		eng:    eng,
-		sched:  eng.NewSched(sim.DomainSerial),
-		net:    net,
-		memory: memory,
-		cfg:    cfg,
-		lines:  make(map[mem.Addr]*dirLine),
+	nbanks := cfg.Banks
+	if nbanks == 0 {
+		nbanks = 1
 	}
+	if nbanks < 0 || nbanks > MaxBanks || nbanks&(nbanks-1) != 0 {
+		panic(fmt.Sprintf("coherence: bank count %d not a power of two in [1, %d]", nbanks, MaxBanks))
+	}
+	d := &Directory{eng: eng, net: net, memory: memory, cfg: cfg}
+	for i := 0; i < nbanks; i++ {
+		dom := sim.DomainSerial
+		if cfg.FirstDomain != sim.DomainSerial {
+			dom = cfg.FirstDomain + sim.Domain(i)
+		}
+		sched := eng.NewSched(dom)
+		d.banks = append(d.banks, &dirBank{
+			d:     d,
+			idx:   i,
+			dom:   dom,
+			sched: sched,
+			ep:    net.NewEndpoint(sched),
+			lines: make(map[mem.Addr]*dirLine),
+		})
+	}
+	return d
 }
 
 // AttachCores registers the core controllers the directory can probe.
-func (d *Directory) AttachCores(cores []Core) { d.cores = cores }
+func (d *Directory) AttachCores(cores []Core) {
+	if len(cores) > MaxCores {
+		panic(fmt.Sprintf("coherence: %d cores exceeds MaxCores=%d", len(cores), MaxCores))
+	}
+	d.cores = cores
+}
 
-func (d *Directory) line(a mem.Addr) *dirLine {
+// NumBanks returns the bank count.
+func (d *Directory) NumBanks() int { return len(d.banks) }
+
+// BankIndex returns the bank owning the line containing a.
+func (d *Directory) BankIndex(a mem.Addr) int { return BankOf(a, len(d.banks)) }
+
+// bankFor returns the bank owning the line containing a.
+func (d *Directory) bankFor(a mem.Addr) *dirBank { return d.banks[d.BankIndex(a)] }
+
+// BankDomain returns the scheduling domain of the bank owning the line
+// containing a (DomainSerial unless per-bank domains are configured).
+// The machine targets directory-bound messages at this domain so
+// requests to distinct banks execute in parallel.
+func (d *Directory) BankDomain(a mem.Addr) sim.Domain { return d.bankFor(a).dom }
+
+// SetBankForceNack installs a per-bank override of the ForceNack seam.
+// A nil fn removes the override, falling back to the directory-wide
+// hook.
+func (d *Directory) SetBankForceNack(bank int, fn func(req ReqInfo) bool) {
+	d.banks[bank].forceNack = fn
+}
+
+// TotalStats sums the per-bank stats shards.
+func (d *Directory) TotalStats() Stats {
+	var s Stats
+	for _, b := range d.banks {
+		s.add(&b.stats)
+	}
+	return s
+}
+
+// BankStats returns one bank's stats shard.
+func (d *Directory) BankStats(bank int) Stats { return d.banks[bank].stats }
+
+// BankLines returns how many distinct lines bank tracks, a cheap
+// occupancy measure for the per-bank load reports.
+func (d *Directory) BankLines(bank int) int { return len(d.banks[bank].lines) }
+
+// NetShards folds the per-bank endpoint counters into the network
+// totals; the machine calls it once after a run.
+func (d *Directory) NetShards() {
+	for _, b := range d.banks {
+		d.net.AddShard(&b.ep.Stats)
+	}
+}
+
+func (b *dirBank) line(a mem.Addr) *dirLine {
 	a = a.Line()
-	l, ok := d.lines[a]
+	l, ok := b.lines[a]
 	if !ok {
 		l = &dirLine{state: dirI, owner: -1}
-		d.lines[a] = l
+		b.lines[a] = l
 	}
 	return l
 }
 
 // accessLatency charges LLC latency plus a DRAM fill on first touch.
-func (d *Directory) accessLatency(l *dirLine) uint64 {
-	lat := d.cfg.LLCLatency
+func (b *dirBank) accessLatency(l *dirLine) uint64 {
+	lat := b.d.cfg.LLCLatency
 	if !l.inLLC {
 		l.inLLC = true
-		lat += d.cfg.DRAMLatency
-		d.Stats.DRAMFills++
+		lat += b.d.cfg.DRAMLatency
+		b.stats.DRAMFills++
 	}
 	return lat
 }
@@ -146,9 +299,10 @@ const (
 
 // dirMsg is the one pooled event payload for directory flows that need
 // no per-flow identity; op selects the behavior, the other fields are a
-// union over the ops.
+// union over the ops. Each message belongs to (and returns to) the pool
+// of the bank that owns its line.
 type dirMsg struct {
-	d    *Directory
+	b    *dirBank
 	op   uint8
 	isX  bool
 	core int
@@ -160,78 +314,81 @@ type dirMsg struct {
 	p    Probe
 }
 
-func (d *Directory) newMsg() *dirMsg {
-	if n := len(d.freeMsgs); n > 0 {
-		m := d.freeMsgs[n-1]
-		d.freeMsgs[n-1] = nil
-		d.freeMsgs = d.freeMsgs[:n-1]
+func (b *dirBank) newMsg() *dirMsg {
+	if n := len(b.freeMsgs); n > 0 {
+		m := b.freeMsgs[n-1]
+		b.freeMsgs[n-1] = nil
+		b.freeMsgs = b.freeMsgs[:n-1]
 		return m
 	}
-	return &dirMsg{d: d}
+	return &dirMsg{b: b}
 }
 
-func (d *Directory) freeMsg(m *dirMsg) {
+func (b *dirBank) freeMsg(m *dirMsg) {
 	m.h = nil
 	m.l = nil
 	m.p = Probe{}
 	m.resp = Resp{}
-	d.freeMsgs = append(d.freeMsgs, m)
+	b.freeMsgs = append(b.freeMsgs, m)
 }
 
 // sendResp schedules a response delivery at the requester over the
-// given message class.
-func (d *Directory) sendResp(data bool, h RespHandler, r Resp) {
-	m := d.newMsg()
+// given message class. Responses are delivered into the serial domain:
+// requester-side handlers touch core/tx state that the per-core domains
+// and the serial events share, and serial events run exclusively.
+func (b *dirBank) sendResp(data bool, h RespHandler, r Resp) {
+	m := b.newMsg()
 	m.op = mResp
 	m.h = h
 	m.resp = r
 	if data {
-		d.net.SendDataMsg(m)
+		b.ep.SendDataMsg(sim.DomainSerial, m)
 	} else {
-		d.net.SendControlMsg(m)
+		b.ep.SendControlMsg(sim.DomainSerial, m)
 	}
 }
 
-// sendProbe schedules a probe delivery at a core.
-func (d *Directory) sendProbe(core int, p Probe) {
-	m := d.newMsg()
+// sendProbe schedules a probe delivery at a core (serial, like
+// responses: HandleProbe reads and writes core-side state).
+func (b *dirBank) sendProbe(core int, p Probe) {
+	m := b.newMsg()
 	m.op = mProbe
 	m.core = core
 	m.p = p
-	d.net.SendControlMsg(m)
+	b.ep.SendControlMsg(sim.DomainSerial, m)
 }
 
 func (m *dirMsg) Run() {
-	d := m.d
+	b := m.b
 	switch m.op {
 	case mResp:
 		h, r := m.h, m.resp
-		d.freeMsg(m)
+		b.freeMsg(m)
 		h.HandleResp(r)
 	case mStart:
 		isX, line, req, h := m.isX, m.line, m.req, m.h
-		d.freeMsg(m)
+		b.freeMsg(m)
 		if isX {
-			d.GetX(line, req, h)
+			b.getX(line, req, h)
 		} else {
-			d.GetS(line, req, h)
+			b.getS(line, req, h)
 		}
 	case mGrantExcl:
 		line, l, req, h := m.line, m.l, m.req, m.h
-		d.freeMsg(m)
-		data := d.memory.ReadLine(line)
+		b.freeMsg(m)
+		data := b.d.memory.ReadLine(line)
 		l.state = dirE
 		l.owner = req.ID
-		l.sharers = 0
-		d.sendResp(true, h, Resp{Kind: RespData, Data: data, Excl: true})
+		l.sharers = sharerSet{}
+		b.sendResp(true, h, Resp{Kind: RespData, Data: data, Excl: true})
 	case mGrantShared:
 		line, l, req, h := m.line, m.l, m.req, m.h
-		d.freeMsg(m)
-		data := d.memory.ReadLine(line)
-		l.sharers |= bit(req.ID)
-		d.sendResp(true, h, Resp{Kind: RespData, Data: data, Excl: false})
+		b.freeMsg(m)
+		data := b.d.memory.ReadLine(line)
+		l.sharers.set(req.ID)
+		b.sendResp(true, h, Resp{Kind: RespData, Data: data, Excl: false})
 	case mFwd:
-		f := d.newFwd()
+		f := b.newFwd()
 		f.line = m.line
 		f.l = m.l
 		f.req = m.req
@@ -243,24 +400,24 @@ func (m *dirMsg) Run() {
 			kind = FwdGetX
 		}
 		req := m.req
-		d.freeMsg(m)
-		d.sendProbe(f.owner, Probe{Line: f.line, Kind: kind, Req: req, Reply: f})
+		b.freeMsg(m)
+		b.sendProbe(f.owner, Probe{Line: f.line, Kind: kind, Req: req, Reply: f})
 	case mCollect:
 		line, l, req, h := m.line, m.l, m.req, m.h
-		d.freeMsg(m)
-		d.collectInvs(line, l, req, h)
+		b.freeMsg(m)
+		b.collectInvs(line, l, req, h)
 	case mProbe:
 		core, p := m.core, m.p
-		d.freeMsg(m)
-		d.cores[core].HandleProbe(p)
+		b.freeMsg(m)
+		b.d.cores[core].HandleProbe(p)
 	case mUnblock:
 		l := m.l
-		d.freeMsg(m)
-		d.unblock(l)
+		b.freeMsg(m)
+		b.unblock(l)
 	case mUnblockLine:
 		line := m.line
-		d.freeMsg(m)
-		d.Unblock(line)
+		b.freeMsg(m)
+		b.unblock(b.line(line))
 	default:
 		panic("coherence: unknown dirMsg op")
 	}
@@ -268,9 +425,11 @@ func (m *dirMsg) Run() {
 
 // fwdFlow is the continuation of a request forwarded to an exclusive
 // owner: it is the probe's replier, and — for the reply arms that need a
-// second directory-side hop — its own event payload.
+// second directory-side hop — its own event payload. The reply methods
+// run at the probed core (serial context); the second hop executes in
+// the owning bank's domain.
 type fwdFlow struct {
-	d     *Directory
+	b     *dirBank
 	line  mem.Addr
 	l     *dirLine
 	req   ReqInfo
@@ -287,89 +446,91 @@ const (
 	fwdNoData              // owner dropped the line: serve memory, grant E
 )
 
-func (d *Directory) newFwd() *fwdFlow {
-	if n := len(d.freeFwds); n > 0 {
-		f := d.freeFwds[n-1]
-		d.freeFwds[n-1] = nil
-		d.freeFwds = d.freeFwds[:n-1]
+func (b *dirBank) newFwd() *fwdFlow {
+	if n := len(b.freeFwds); n > 0 {
+		f := b.freeFwds[n-1]
+		b.freeFwds[n-1] = nil
+		b.freeFwds = b.freeFwds[:n-1]
 		return f
 	}
-	return &fwdFlow{d: d}
+	return &fwdFlow{b: b}
 }
 
-func (d *Directory) freeFwd(f *fwdFlow) {
+func (b *dirBank) freeFwd(f *fwdFlow) {
 	f.h = nil
 	f.l = nil
-	d.freeFwds = append(d.freeFwds, f)
+	b.freeFwds = append(b.freeFwds, f)
 }
 
 func (f *fwdFlow) ReplyData(data mem.Line) {
-	d := f.d
+	b := f.b
 	if f.isX {
 		// Ownership moves; memory refreshed so the (possibly
 		// transactional) new owner can be silently invalidated.
-		d.sendResp(true, f.h, Resp{Kind: RespData, Data: data, Excl: true})
+		b.sendResp(true, f.h, Resp{Kind: RespData, Data: data, Excl: true})
 		f.phase = fwdMemX
 	} else {
 		// Owner keeps a Shared copy; data to requester and to memory.
-		d.sendResp(true, f.h, Resp{Kind: RespData, Data: data, Excl: false})
+		b.sendResp(true, f.h, Resp{Kind: RespData, Data: data, Excl: false})
 		f.phase = fwdMemS
 	}
 	f.data = data
-	d.net.SendDataMsg(f)
+	b.ep.SendDataMsg(b.dom, f)
 }
 
 func (f *fwdFlow) ReplyNoData() {
 	f.phase = fwdNoData
-	f.d.net.SendControlMsg(f)
+	f.b.ep.SendControlMsg(f.b.dom, f)
 }
 
 func (f *fwdFlow) ReplySpec(data mem.Line, pic PiC) {
-	d := f.d
-	d.Stats.SpecCancels++
-	d.sendResp(true, f.h, Resp{Kind: RespSpec, Data: data, PiC: pic})
-	m := d.newMsg() // cancel at directory
+	b := f.b
+	b.stats.SpecCancels++
+	b.sendResp(true, f.h, Resp{Kind: RespSpec, Data: data, PiC: pic})
+	m := b.newMsg() // cancel at directory
 	m.op = mUnblock
 	m.l = f.l
-	d.net.SendControlMsg(m)
-	d.freeFwd(f)
+	b.ep.SendControlMsg(b.dom, m)
+	b.freeFwd(f)
 }
 
 func (f *fwdFlow) ReplyNack() {
-	d := f.d
-	d.Stats.Nacks++
-	d.sendResp(false, f.h, Resp{Kind: RespNack})
-	m := d.newMsg()
+	b := f.b
+	b.stats.Nacks++
+	b.sendResp(false, f.h, Resp{Kind: RespNack})
+	m := b.newMsg()
 	m.op = mUnblock
 	m.l = f.l
-	d.net.SendControlMsg(m)
-	d.freeFwd(f)
+	b.ep.SendControlMsg(b.dom, m)
+	b.freeFwd(f)
 }
 
 func (f *fwdFlow) Run() {
-	d := f.d
+	b := f.b
 	switch f.phase {
 	case fwdMemS:
-		d.memory.WriteLine(f.line, f.data)
+		b.d.memory.WriteLine(f.line, f.data)
 		f.l.state = dirS
-		f.l.sharers = bit(f.owner) | bit(f.req.ID)
+		f.l.sharers = sharerSet{}
+		f.l.sharers.set(f.owner)
+		f.l.sharers.set(f.req.ID)
 		f.l.owner = -1
 		// requester's Unblock releases the line
-		d.freeFwd(f)
+		b.freeFwd(f)
 	case fwdMemX:
-		d.memory.WriteLine(f.line, f.data)
+		b.d.memory.WriteLine(f.line, f.data)
 		f.l.state = dirE
 		f.l.owner = f.req.ID
-		f.l.sharers = 0
-		d.freeFwd(f)
+		f.l.sharers = sharerSet{}
+		b.freeFwd(f)
 	case fwdNoData:
-		data := d.memory.ReadLine(f.line)
+		data := b.d.memory.ReadLine(f.line)
 		f.l.state = dirE
 		f.l.owner = f.req.ID
-		f.l.sharers = 0
+		f.l.sharers = sharerSet{}
 		h := f.h
-		d.freeFwd(f)
-		d.sendResp(true, h, Resp{Kind: RespData, Data: data, Excl: true})
+		b.freeFwd(f)
+		b.sendResp(true, h, Resp{Kind: RespData, Data: data, Excl: true})
 	default:
 		panic("coherence: bad fwdFlow phase")
 	}
@@ -378,7 +539,7 @@ func (f *fwdFlow) Run() {
 // invCollect aggregates the outcome of the invalidation probes sent on a
 // GetX against a Shared line.
 type invCollect struct {
-	d       *Directory
+	b       *dirBank
 	line    mem.Addr
 	l       *dirLine
 	req     ReqInfo
@@ -389,20 +550,20 @@ type invCollect struct {
 	minPiC  PiC
 }
 
-func (d *Directory) newInvC() *invCollect {
-	if n := len(d.freeInvC); n > 0 {
-		c := d.freeInvC[n-1]
-		d.freeInvC[n-1] = nil
-		d.freeInvC = d.freeInvC[:n-1]
+func (b *dirBank) newInvC() *invCollect {
+	if n := len(b.freeInvC); n > 0 {
+		c := b.freeInvC[n-1]
+		b.freeInvC[n-1] = nil
+		b.freeInvC = b.freeInvC[:n-1]
 		return c
 	}
-	return &invCollect{d: d}
+	return &invCollect{b: b}
 }
 
-func (d *Directory) freeInvCollect(c *invCollect) {
+func (b *dirBank) freeInvCollect(c *invCollect) {
 	c.h = nil
 	c.l = nil
-	d.freeInvC = append(d.freeInvC, c)
+	b.freeInvC = append(b.freeInvC, c)
 }
 
 func (c *invCollect) done() {
@@ -410,30 +571,30 @@ func (c *invCollect) done() {
 	if c.pending > 0 {
 		return
 	}
-	d := c.d
+	b := c.b
 	switch {
 	case c.nacked:
-		d.Stats.Nacks++
-		d.sendResp(false, c.h, Resp{Kind: RespNack})
-		d.unblock(c.l)
+		b.stats.Nacks++
+		b.sendResp(false, c.h, Resp{Kind: RespNack})
+		b.unblock(c.l)
 	case c.refused:
-		d.Stats.SpecCancels++
-		data := d.memory.ReadLine(c.line)
-		d.sendResp(true, c.h, Resp{Kind: RespSpec, Data: data, PiC: c.minPiC})
-		d.unblock(c.l)
+		b.stats.SpecCancels++
+		data := b.d.memory.ReadLine(c.line)
+		b.sendResp(true, c.h, Resp{Kind: RespSpec, Data: data, PiC: c.minPiC})
+		b.unblock(c.l)
 	default:
-		data := d.memory.ReadLine(c.line)
+		data := b.d.memory.ReadLine(c.line)
 		c.l.state = dirE
 		c.l.owner = c.req.ID
-		c.l.sharers = 0
-		d.sendResp(true, c.h, Resp{Kind: RespData, Data: data, Excl: true})
+		c.l.sharers = sharerSet{}
+		b.sendResp(true, c.h, Resp{Kind: RespData, Data: data, Excl: true})
 		// requester's Unblock releases the line
 	}
-	d.freeInvCollect(c)
+	b.freeInvCollect(c)
 }
 
 // invTarget is one sharer's probe replier and the payload of its ack
-// hop back to the directory.
+// hop back to the directory bank.
 type invTarget struct {
 	c      *invCollect
 	target int
@@ -447,11 +608,11 @@ const (
 	ackNack
 )
 
-func (d *Directory) newInvT(c *invCollect, target int) *invTarget {
-	if n := len(d.freeInvT); n > 0 {
-		t := d.freeInvT[n-1]
-		d.freeInvT[n-1] = nil
-		d.freeInvT = d.freeInvT[:n-1]
+func (b *dirBank) newInvT(c *invCollect, target int) *invTarget {
+	if n := len(b.freeInvT); n > 0 {
+		t := b.freeInvT[n-1]
+		b.freeInvT[n-1] = nil
+		b.freeInvT = b.freeInvT[:n-1]
 		t.c = c
 		t.target = target
 		return t
@@ -461,7 +622,8 @@ func (d *Directory) newInvT(c *invCollect, target int) *invTarget {
 
 func (t *invTarget) ReplyData(mem.Line) { // invalidated (clean sharer)
 	t.act = ackInv
-	t.c.d.net.SendControlMsg(t)
+	b := t.c.b
+	b.ep.SendControlMsg(b.dom, t)
 }
 
 func (t *invTarget) ReplyNoData() { t.ReplyData(mem.Line{}) } // already silently dropped
@@ -469,21 +631,23 @@ func (t *invTarget) ReplyNoData() { t.ReplyData(mem.Line{}) } // already silentl
 func (t *invTarget) ReplySpec(_ mem.Line, pic PiC) {
 	t.act = ackSpec
 	t.pic = pic
-	t.c.d.net.SendControlMsg(t)
+	b := t.c.b
+	b.ep.SendControlMsg(b.dom, t)
 }
 
 func (t *invTarget) ReplyNack() {
 	t.act = ackNack
-	t.c.d.net.SendControlMsg(t)
+	b := t.c.b
+	b.ep.SendControlMsg(b.dom, t)
 }
 
 func (t *invTarget) Run() {
 	c, target, act, pic := t.c, t.target, t.act, t.pic
 	t.c = nil
-	c.d.freeInvT = append(c.d.freeInvT, t)
+	c.b.freeInvT = append(c.b.freeInvT, t)
 	switch act {
 	case ackInv:
-		c.l.sharers &^= bit(target)
+		c.l.sharers.clear(target)
 	case ackSpec:
 		c.refused = true
 		if pic < c.minPiC {
@@ -497,30 +661,30 @@ func (t *invTarget) Run() {
 
 // ---------- request handling ----------
 
-func (d *Directory) unblock(l *dirLine) {
+func (b *dirBank) unblock(l *dirLine) {
 	if !l.busy {
 		panic("coherence: unblock on non-busy line")
 	}
 	l.busy = false
-	d.startNext(l)
+	b.startNext(l)
 }
 
 // startNext pops the next queued request if the line is free. Called
 // from unblock and from the force-nack path: a dequeued request that is
 // bounced by ForceNack never reaches unblock, and without this the rest
 // of the queue would strand until a new request happened to complete.
-func (d *Directory) startNext(l *dirLine) {
+func (b *dirBank) startNext(l *dirLine) {
 	if !l.busy && len(l.queue) > 0 {
 		next := l.queue[0]
 		l.queue[0] = queuedReq{}
 		l.queue = l.queue[1:]
-		m := d.newMsg()
+		m := b.newMsg()
 		m.op = mStart
 		m.isX = next.isX
 		m.line = next.line
 		m.req = next.req
 		m.h = next.resp
-		d.sched.ScheduleRunner(0, m)
+		b.sched.ScheduleRunner(0, m)
 	}
 }
 
@@ -528,42 +692,64 @@ func (d *Directory) startNext(l *dirLine) {
 // it lets the directory start the next queued request for the line.
 // (The call is already network-delayed by the requester.)
 func (d *Directory) Unblock(line mem.Addr) {
-	d.unblock(d.line(line))
+	b := d.bankFor(line)
+	b.unblock(b.line(line))
 }
 
 // SendUnblock sends the requester's Unblock message for line over the
-// interconnect (control class); the line is released on delivery.
+// interconnect (control class); the line is released on delivery at its
+// bank.
 func (d *Directory) SendUnblock(line mem.Addr) {
-	m := d.newMsg()
+	b := d.bankFor(line)
+	m := b.newMsg()
 	m.op = mUnblockLine
 	m.line = line
-	d.net.SendControlMsg(m)
+	b.ep.SendControlMsg(b.dom, m)
 }
-
-func bit(i int) uint64 { return 1 << uint(i) }
 
 // GetS handles a read request from core req.ID. resp is invoked at the
 // requester (network-delayed) with the outcome. On RespData the requester
 // must send Unblock after installing the line; RespSpec and RespNack need
 // no unblock.
 func (d *Directory) GetS(lineAddr mem.Addr, req ReqInfo, resp RespHandler) {
+	d.bankFor(lineAddr).getS(lineAddr, req, resp)
+}
+
+// GetX handles a write (or upgrade) request from core req.ID.
+func (d *Directory) GetX(lineAddr mem.Addr, req ReqInfo, resp RespHandler) {
+	d.bankFor(lineAddr).getX(lineAddr, req, resp)
+}
+
+// shouldForceNack consults the bank's fault seam (per-bank override
+// first, then the directory-wide hook).
+func (b *dirBank) shouldForceNack(req ReqInfo) bool {
+	if !req.IsTx {
+		return false
+	}
+	if b.forceNack != nil {
+		return b.forceNack(req)
+	}
+	return b.d.ForceNack != nil && b.d.ForceNack(req)
+}
+
+func (b *dirBank) getS(lineAddr mem.Addr, req ReqInfo, resp RespHandler) {
 	lineAddr = lineAddr.Line()
-	l := d.line(lineAddr)
+	l := b.line(lineAddr)
 	if l.busy {
 		l.queue = append(l.queue, queuedReq{isX: false, line: lineAddr, req: req, resp: resp})
 		return
 	}
-	if d.ForceNack != nil && req.IsTx && d.ForceNack(req) {
-		d.Stats.Nacks++
-		d.sendResp(false, resp, Resp{Kind: RespNack})
-		d.startNext(l)
+	if b.shouldForceNack(req) {
+		b.stats.Nacks++
+		b.sendResp(false, resp, Resp{Kind: RespNack})
+		b.startNext(l)
 		return
 	}
-	d.Stats.GetS++
+	b.stats.GetS++
 	l.busy = true
-	lat := d.accessLatency(l)
+	lat := b.accessLatency(l)
 
-	m := d.newMsg()
+	m := b.newMsg()
 	m.line = lineAddr
 	m.l = l
 	m.req = req
@@ -576,69 +762,68 @@ func (d *Directory) GetS(lineAddr mem.Addr, req ReqInfo, resp RespHandler) {
 	case l.state == dirS:
 		m.op = mGrantShared
 	case l.state == dirE:
-		d.Stats.Forwards++
+		b.stats.Forwards++
 		m.op = mFwd
 		m.isX = false
 		m.core = l.owner
 	}
-	d.sched.ScheduleRunner(lat, m)
+	b.sched.ScheduleRunner(lat, m)
 }
 
-// GetX handles a write (or upgrade) request from core req.ID.
-func (d *Directory) GetX(lineAddr mem.Addr, req ReqInfo, resp RespHandler) {
+func (b *dirBank) getX(lineAddr mem.Addr, req ReqInfo, resp RespHandler) {
 	lineAddr = lineAddr.Line()
-	l := d.line(lineAddr)
+	l := b.line(lineAddr)
 	if l.busy {
 		l.queue = append(l.queue, queuedReq{isX: true, line: lineAddr, req: req, resp: resp})
 		return
 	}
-	if d.ForceNack != nil && req.IsTx && d.ForceNack(req) {
-		d.Stats.Nacks++
-		d.sendResp(false, resp, Resp{Kind: RespNack})
-		d.startNext(l)
+	if b.shouldForceNack(req) {
+		b.stats.Nacks++
+		b.sendResp(false, resp, Resp{Kind: RespNack})
+		b.startNext(l)
 		return
 	}
-	d.Stats.GetX++
+	b.stats.GetX++
 	l.busy = true
-	lat := d.accessLatency(l)
+	lat := b.accessLatency(l)
 
-	m := d.newMsg()
+	m := b.newMsg()
 	m.line = lineAddr
 	m.l = l
 	m.req = req
 	m.h = resp
 	switch {
 	case l.state == dirI, l.state == dirE && l.owner == req.ID,
-		l.state == dirS && l.sharers&^bit(req.ID) == 0:
+		l.state == dirS && l.sharers.onlyMember(req.ID):
 		// Free line, silent-drop re-request, or upgrade with no other
 		// sharer: grant from memory.
 		m.op = mGrantExcl
 	case l.state == dirE:
-		d.Stats.Forwards++
+		b.stats.Forwards++
 		m.op = mFwd
 		m.isX = true
 		m.core = l.owner
 	case l.state == dirS:
 		m.op = mCollect
 	}
-	d.sched.ScheduleRunner(lat, m)
+	b.sched.ScheduleRunner(lat, m)
 }
 
 // collectInvs sends invalidation probes to every sharer except the
 // requester and aggregates the outcome: all invalidated → exclusive
 // grant; any refusal (speculative forwarding by a reader) → SpecResp with
 // the committed data and the minimum producer PiC; any nack → RespNack.
-func (d *Directory) collectInvs(lineAddr mem.Addr, l *dirLine, req ReqInfo, resp RespHandler) {
+func (b *dirBank) collectInvs(lineAddr mem.Addr, l *dirLine, req ReqInfo, resp RespHandler) {
 	count := 0
-	for i := range d.cores {
-		if l.sharers&bit(i) != 0 && i != req.ID {
+	for i := range b.d.cores {
+		if l.sharers.has(i) && i != req.ID {
 			count++
 		}
 	}
 	if count == 0 {
 		panic("coherence: collectInvs with no targets")
 	}
-	c := d.newInvC()
+	c := b.newInvC()
 	c.line = lineAddr
 	c.l = l
 	c.req = req
@@ -647,13 +832,13 @@ func (d *Directory) collectInvs(lineAddr mem.Addr, l *dirLine, req ReqInfo, resp
 	c.refused = false
 	c.nacked = false
 	c.minPiC = PiC(127)
-	for i := range d.cores {
-		if l.sharers&bit(i) == 0 || i == req.ID {
+	for i := range b.d.cores {
+		if !l.sharers.has(i) || i == req.ID {
 			continue
 		}
-		d.Stats.Invs++
-		t := d.newInvT(c, i)
-		d.sendProbe(i, Probe{Line: lineAddr, Kind: InvProbe, Req: req, Reply: t})
+		b.stats.Invs++
+		t := b.newInvT(c, i)
+		b.sendProbe(i, Probe{Line: lineAddr, Kind: InvProbe, Req: req, Reply: t})
 	}
 }
 
@@ -665,8 +850,9 @@ func (d *Directory) WriteBack(lineAddr mem.Addr, data mem.Line, sender int, canc
 	if cancelled != nil && *cancelled {
 		return
 	}
-	l := d.line(lineAddr)
-	d.Stats.Writebacks++
+	b := d.bankFor(lineAddr)
+	l := b.line(lineAddr)
+	b.stats.Writebacks++
 	d.memory.WriteLine(lineAddr, data)
 	if !l.busy && l.state == dirE && l.owner == sender {
 		l.state = dirI
@@ -681,7 +867,7 @@ func (d *Directory) WriteBack(lineAddr mem.Addr, data mem.Line, sender int, canc
 // are written back to L2 before a block in L1 is speculatively
 // modified"). Coherence state is untouched.
 func (d *Directory) WriteBackData(lineAddr mem.Addr, data mem.Line) {
-	d.Stats.Writebacks++
+	d.bankFor(lineAddr).stats.Writebacks++
 	d.memory.WriteLine(lineAddr, data)
 }
 
@@ -689,23 +875,23 @@ func (d *Directory) WriteBackData(lineAddr mem.Addr, data mem.Line) {
 // baseline protocol does not require this message (sharer lists may be
 // stale); it exists for tests that want exact sharer tracking.
 func (d *Directory) DropSharer(lineAddr mem.Addr, id int) {
-	l := d.line(lineAddr)
+	l := d.bankFor(lineAddr).line(lineAddr)
 	if l.state == dirS {
-		l.sharers &^= bit(id)
+		l.sharers.clear(id)
 	}
 }
 
 // snapshot helpers for tests.
 
 // StateOf reports the directory state of a line as a string, the owner,
-// and the sharer bitset.
+// and the low 64 bits of the sharer bitset (tests address cores 0..63).
 func (d *Directory) StateOf(lineAddr mem.Addr) (string, int, uint64) {
-	l := d.line(lineAddr)
+	l := d.bankFor(lineAddr).line(lineAddr)
 	switch l.state {
 	case dirI:
 		return "I", -1, 0
 	case dirS:
-		return "S", -1, l.sharers
+		return "S", -1, l.sharers[0]
 	case dirE:
 		return "E", l.owner, 0
 	}
@@ -713,7 +899,11 @@ func (d *Directory) StateOf(lineAddr mem.Addr) (string, int, uint64) {
 }
 
 // Busy reports whether the line has a request in flight.
-func (d *Directory) Busy(lineAddr mem.Addr) bool { return d.line(lineAddr).busy }
+func (d *Directory) Busy(lineAddr mem.Addr) bool {
+	return d.bankFor(lineAddr).line(lineAddr).busy
+}
 
 // QueuedLen reports how many requests wait in the line's blocking queue.
-func (d *Directory) QueuedLen(lineAddr mem.Addr) int { return len(d.line(lineAddr).queue) }
+func (d *Directory) QueuedLen(lineAddr mem.Addr) int {
+	return len(d.bankFor(lineAddr).line(lineAddr).queue)
+}

@@ -81,13 +81,13 @@ func TestColdGetSGrantsExclusive(t *testing.T) {
 	if st != "E" || owner != 0 {
 		t.Fatalf("dir state %s owner %d", st, owner)
 	}
-	if r.dir.Stats.DRAMFills != 1 {
+	if r.dir.TotalStats().DRAMFills != 1 {
 		t.Fatal("expected one DRAM fill")
 	}
 	// Second touch: no new DRAM fill.
 	r.cores[0].onProbe = func(p Probe) { p.ReplyData(mem.Line{7}) }
 	r.request(t, false, 0x40, 1)
-	if r.dir.Stats.DRAMFills != 1 {
+	if r.dir.TotalStats().DRAMFills != 1 {
 		t.Fatal("unexpected second DRAM fill")
 	}
 }
@@ -166,7 +166,7 @@ func TestSpecRespLeavesStateUnchanged(t *testing.T) {
 	if r.dir.Busy(0x100) {
 		t.Fatal("line still busy after spec cancel")
 	}
-	if r.dir.Stats.SpecCancels != 1 {
+	if r.dir.TotalStats().SpecCancels != 1 {
 		t.Fatal("spec cancel not counted")
 	}
 }

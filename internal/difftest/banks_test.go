@@ -1,0 +1,142 @@
+package difftest_test
+
+import (
+	"fmt"
+	"testing"
+
+	"chats/internal/core"
+	"chats/internal/machine"
+	"chats/internal/randprog"
+)
+
+// Bank-count equivalence over random programs: the address-sharded
+// directory must be a pure decomposition of the monolithic one, so
+// every committed corpus entry plus a fresh generated batch runs at
+// DirBanks ∈ {1, 4, 16} × IntraWorkers ∈ {1, 8}, and every combination
+// must reproduce the single-bank serial run bit-for-bit — the full
+// comparable RunStats and the final shared + private memory image.
+// This is the oracle for the sharding: the banks only partition state
+// by address, and the staged-merge (cycle, seq) discipline keeps
+// cross-bank flows in the same order the monolithic directory saw.
+
+// runBanked executes p on one system with the given bank and engine
+// worker counts, returning the stats plus the flushed memory image.
+func runBanked(t *testing.T, p *randprog.Program, kind core.Kind, banks, workers int) (machine.RunStats, []uint64) {
+	t.Helper()
+	policy, err := core.New(kind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := machine.DefaultConfig()
+	cfg.CycleLimit = 200_000_000
+	cfg.Cores = p.Cores
+	cfg.DirBanks = banks
+	cfg.IntraWorkers = workers
+	m, err := machine.New(cfg, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.DirBanks(); got != banks && !(banks == 0 && got == 1) {
+		t.Fatalf("machine built %d banks, configured %d", got, banks)
+	}
+	w := randprog.NewWorkload(p)
+	st, err := m.Run(w)
+	if err != nil {
+		t.Fatalf("DirBanks=%d IntraWorkers=%d: %v", banks, workers, err)
+	}
+	mem := m.World().Mem
+	img := make([]uint64, 0, p.Pool+p.Cores*p.Priv)
+	for i := 0; i < p.Pool; i++ {
+		img = append(img, mem.ReadWord(w.SlotAddr(i)))
+	}
+	for c := 0; c < p.Cores; c++ {
+		for k := 0; k < p.Priv; k++ {
+			img = append(img, mem.ReadWord(w.PrivAddr(c, k)))
+		}
+	}
+	return st, img
+}
+
+// checkBanks runs p at every bank × worker combination and fails on the
+// first divergence from the single-bank serial run.
+func checkBanks(t *testing.T, p *randprog.Program, kind core.Kind) {
+	t.Helper()
+	ref, refImg := runBanked(t, p, kind, 1, 1)
+	for _, banks := range []int{1, 4, 16} {
+		for _, workers := range []int{1, 8} {
+			if banks == 1 && workers == 1 {
+				continue // the reference itself
+			}
+			st, img := runBanked(t, p, kind, banks, workers)
+			if st != ref {
+				t.Errorf("DirBanks=%d IntraWorkers=%d stats diverged from single-bank serial:\nref:    %+v\nbanked: %+v",
+					banks, workers, ref, st)
+			}
+			for i := range refImg {
+				if img[i] != refImg[i] {
+					t.Errorf("DirBanks=%d IntraWorkers=%d memory slot %d = %d, single-bank serial has %d",
+						banks, workers, i, img[i], refImg[i])
+				}
+			}
+		}
+	}
+}
+
+// TestBankCorpusEquivalence replays every committed corpus program on
+// the parallel-capable systems at each bank × worker combination.
+func TestBankCorpusEquivalence(t *testing.T) {
+	for name, p := range loadCorpus(t) {
+		for _, kind := range intraSystems() {
+			p, kind := p, kind
+			t.Run(name+"/"+string(kind), func(t *testing.T) {
+				t.Parallel()
+				checkBanks(t, p, kind)
+			})
+		}
+	}
+}
+
+// TestBankFuzzEquivalence does the same over a fresh generated batch —
+// fixed seeds distinct from the intra-equivalence batch, with blind
+// stores mixed in for order-sensitive coverage.
+func TestBankFuzzEquivalence(t *testing.T) {
+	g := randprog.Preset(0)
+	g.AddFrac = 0.5
+	kinds := intraSystems()
+	const n = 12
+	for i := 0; i < n; i++ {
+		seed := uint64(7000 + i)
+		p := randprog.Generate(seed, g)
+		kind := kinds[i%len(kinds)]
+		t.Run(fmt.Sprintf("seed%d/%s", seed, kind), func(t *testing.T) {
+			t.Parallel()
+			checkBanks(t, p, kind)
+		})
+	}
+}
+
+// TestBankSerialSystems covers the power-token systems (forced serial
+// on their own) at the bank sweep: sharding must be invisible to them
+// too, even though their directory events never run in a bank domain.
+func TestBankSerialSystems(t *testing.T) {
+	g := randprog.Preset(0)
+	for i, kind := range []core.Kind{core.KindPower, core.KindPCHATS} {
+		seed := uint64(7100 + i)
+		p := randprog.Generate(seed, g)
+		t.Run(fmt.Sprintf("seed%d/%s", seed, kind), func(t *testing.T) {
+			t.Parallel()
+			ref, refImg := runBanked(t, p, kind, 1, 1)
+			for _, banks := range []int{4, 16} {
+				st, img := runBanked(t, p, kind, banks, 1)
+				if st != ref {
+					t.Errorf("DirBanks=%d stats diverged:\nref:    %+v\nbanked: %+v", banks, ref, st)
+				}
+				for j := range refImg {
+					if img[j] != refImg[j] {
+						t.Errorf("DirBanks=%d memory slot %d = %d, want %d", banks, j, img[j], refImg[j])
+					}
+				}
+			}
+		})
+	}
+}

@@ -169,6 +169,7 @@ func CheckSystem(p *randprog.Program, kind core.Kind, opts Options) error {
 		r := runstore.FromStats(st, string(kind), cfg.Seed, cfg.KnobsKey(), "fuzz",
 			time.Since(start).Nanoseconds(), 0)
 		r.StampEngine(m.IntraWorkers())
+		r.StampDirBanks(m.DirBanks())
 		opts.Record(r)
 	}
 	if err != nil {

@@ -22,6 +22,14 @@ type CellBench struct {
 	SimCycles   uint64 `json:"simcycles"`
 	WallclockNS int64  `json:"wallclock_ns"`
 	Allocs      uint64 `json:"allocs"`
+
+	// WaveEvents/Waves describe the engine's parallel coverage: fired
+	// events grouped into same-cycle distinct-domain waves (a wave is
+	// the unit the intra-run executor can overlap). events/waves is the
+	// average batch width — higher means more headroom for -intra-j.
+	// Zero on files written before the wave counters existed.
+	WaveEvents uint64 `json:"wave_events,omitempty"`
+	Waves      uint64 `json:"waves,omitempty"`
 }
 
 // BenchReport is the top-level -bench-json document.
@@ -99,8 +107,7 @@ func cellName(kind core.Kind, traits *htm.Traits, bench string, seed uint64, lab
 // behavior at 64 cores.
 var largeBenches = []string{"llb-l", "llb-h", "kmeans-l", "kmeans-h", "cadd", "vacation"}
 
-// LargeBenchCores is the machine width of the large-machine bench grid
-// (the Config.Validate maximum).
+// LargeBenchCores is the machine width of the large-machine bench grid.
 const LargeBenchCores = 64
 
 // RunLargeBench executes the large-machine bench grid — baseline and
@@ -119,16 +126,72 @@ func (s *Suite) RunLargeBench() error {
 	return nil
 }
 
+// ScaleBenchCores are the machine widths of the directory-scaling
+// bench grid: the large-machine width and the MaxCores ceiling, where
+// directory occupancy is densest and bank-level parallelism matters
+// most.
+var ScaleBenchCores = []int{64, 256}
+
+// scaleBenches are the grid's workloads: the chaining-heavy benches
+// whose directory traffic used to serialize on the single DomainSerial
+// directory (~2 events/wave), so they show the bank-sharding gain most
+// directly.
+var scaleBenches = []string{"kmeans-l", "kmeans-h", "cadd"}
+
+// RunScaleBench executes the directory-scaling bench grid: CHATS on
+// every scale bench at each ScaleBenchCores width, cells labeled
+// <system>/<bench>/c<cores>. The bank count under test comes from
+// p.Machine.DirBanks — run once per bank count into separate files and
+// diff them with benchdiff: common cells must be cycle-identical at any
+// bank count, and the events-per-wave row quantifies the parallel
+// coverage each bank count buys.
+func RunScaleBench(p Params) ([]CellBench, int, error) {
+	var cells []CellBench
+	runs := 0
+	for _, cores := range ScaleBenchCores {
+		sp := p
+		sp.Machine.Cores = cores
+		s := NewSuite(sp)
+		for _, bench := range scaleBenches {
+			if _, err := s.Run(core.KindCHATS, nil, bench); err != nil {
+				return nil, 0, err
+			}
+		}
+		for _, cb := range s.BenchCells() {
+			cb.Cell = fmt.Sprintf("%s/c%d", cb.Cell, cores)
+			cells = append(cells, cb)
+		}
+		runs += s.Runs
+	}
+	return cells, runs, nil
+}
+
+// BenchCells returns a copy of the per-cell measurements collected so
+// far.
+func (s *Suite) BenchCells() []CellBench {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cells := make([]CellBench, len(s.bench))
+	copy(cells, s.bench)
+	return cells
+}
+
 // WriteBenchJSON emits the bench trajectory of every simulation the
 // suite has executed, sorted by cell name so the output is stable
 // regardless of sweep scheduling. meta stamps the v2 header fields
 // (runstore.NowMeta() for live runs).
 func (s *Suite) WriteBenchJSON(w io.Writer, workers int, total time.Duration, meta runstore.Meta) error {
 	s.mu.Lock()
-	cells := make([]CellBench, len(s.bench))
-	copy(cells, s.bench)
 	runs := s.Runs
 	s.mu.Unlock()
+	return WriteBenchCells(w, s.BenchCells(), workers, s.p.Size.String(), runs, total, meta)
+}
+
+// WriteBenchCells writes an explicit cell list as a -bench-json
+// document — the seam shared by the suite writer and grids (like
+// RunScaleBench) that collect cells across several suites.
+func WriteBenchCells(w io.Writer, cells []CellBench, workers int, size string, runs int, total time.Duration, meta runstore.Meta) error {
+	cells = append([]CellBench(nil), cells...)
 	sort.Slice(cells, func(i, j int) bool { return cells[i].Cell < cells[j].Cell })
 	rep := BenchReport{
 		Schema:           BenchSchema,
@@ -136,7 +199,7 @@ func (s *Suite) WriteBenchJSON(w io.Writer, workers int, total time.Duration, me
 		TimestampUTC:     meta.TimestampUTC,
 		GoVersion:        meta.GoVersion,
 		Workers:          workers,
-		Size:             s.p.Size.String(),
+		Size:             size,
 		Runs:             runs,
 		TotalWallclockNS: total.Nanoseconds(),
 		Cells:            cells,

@@ -182,6 +182,7 @@ func FallbackMatrix(p Params, benches []string) *FallbackReport {
 			r := runstore.FromStats(st, string(c.System), cfg.Seed, ConfigKey(&traits, cfg),
 				p.Size.String(), rec.bench.WallclockNS, rec.bench.Allocs)
 			r.StampEngine(m.IntraWorkers())
+			r.StampDirBanks(m.DirBanks())
 			p.Recorder(r)
 		}
 		c.Stats = st

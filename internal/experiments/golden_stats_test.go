@@ -70,12 +70,14 @@ func withinBand(got, want uint64, frac float64, slack uint64) bool {
 }
 
 // runMatrixStats runs the Tiny-size main matrix with the given engine
-// worker count and returns the full RunStats per cell.
-func runMatrixStats(t *testing.T, workers int) map[string]machine.RunStats {
+// worker count and directory bank count, returning the full RunStats
+// per cell.
+func runMatrixStats(t *testing.T, workers, banks int) map[string]machine.RunStats {
 	t.Helper()
 	p := Params{Size: workloads.Tiny, Machine: machine.DefaultConfig()}
 	p.Machine.CycleLimit = 200_000_000
 	p.Machine.IntraWorkers = workers
+	p.Machine.DirBanks = banks
 	s := NewSuite(p)
 	out := make(map[string]machine.RunStats)
 	for _, kind := range mainSystems() {
@@ -97,12 +99,49 @@ func runMatrixStats(t *testing.T, workers int) map[string]machine.RunStats {
 // Power-token systems inside the matrix force themselves serial, which
 // the comparison covers for free.
 func TestGoldenStatsIntraParallel(t *testing.T) {
-	serial := runMatrixStats(t, 1)
-	parallel := runMatrixStats(t, 4)
+	serial := runMatrixStats(t, 1, 1)
+	parallel := runMatrixStats(t, 4, 1)
 	for key, ref := range serial {
 		if got := parallel[key]; got != ref {
 			t.Errorf("%s: IntraWorkers=4 diverged from serial:\nserial:   %+v\nparallel: %+v",
 				key, ref, got)
+		}
+	}
+}
+
+// TestGoldenStatsBanked re-runs the main matrix with the directory
+// sharded into four banks (under the parallel engine, where banking
+// actually changes the execution schedule) and demands bit-exact
+// RunStats agreement with the single-bank serial matrix, plus exact
+// commits/fallbacks agreement with the committed golden file. Both
+// references are computed or pinned independently of the banked run, so
+// -update-golden cannot silence a banking divergence.
+func TestGoldenStatsBanked(t *testing.T) {
+	serial := runMatrixStats(t, 1, 1)
+	banked := runMatrixStats(t, 4, 4)
+	for key, ref := range serial {
+		if got := banked[key]; got != ref {
+			t.Errorf("%s: DirBanks=4 diverged from single-bank serial:\nserial: %+v\nbanked: %+v",
+				key, ref, got)
+		}
+	}
+
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden file: %v", err)
+	}
+	var want map[string]goldenCell
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("parse %s: %v", goldenPath, err)
+	}
+	for key, w := range want {
+		g, ok := banked[key]
+		if !ok {
+			continue // golden covers exactly the main matrix; guarded by TestGoldenStats
+		}
+		if g.Commits != w.Commits || g.Fallbacks != w.Fallbacks {
+			t.Errorf("%s: banked commits/fallbacks %d/%d, golden %d/%d",
+				key, g.Commits, g.Fallbacks, w.Commits, w.Fallbacks)
 		}
 	}
 }

@@ -122,6 +122,7 @@ func FaultSoak(p Params, benches []string) *SoakReport {
 			r := runstore.FromStats(st, string(c.System), cfg.Seed, ConfigKey(nil, cfg),
 				p.Size.String(), rec.bench.WallclockNS, rec.bench.Allocs)
 			r.StampEngine(m.IntraWorkers())
+			r.StampDirBanks(m.DirBanks())
 			p.Recorder(r)
 		}
 		c.Stats = st

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"chats/internal/coherence"
 	"chats/internal/core"
 	"chats/internal/htm"
 	"chats/internal/mem"
@@ -186,8 +187,11 @@ func TestAbortRateMetric(t *testing.T) {
 func TestConfigValidate(t *testing.T) {
 	bad := []func(*Config){
 		func(c *Config) { c.Cores = 0 },
-		func(c *Config) { c.Cores = 100 },
+		func(c *Config) { c.Cores = coherence.MaxCores + 1 },
 		func(c *Config) { c.L1Size = 0 },
+		func(c *Config) { c.DirBanks = 3 },
+		func(c *Config) { c.DirBanks = -4 },
+		func(c *Config) { c.DirBanks = 2 * coherence.MaxBanks },
 		func(c *Config) { c.NackRetryLimit = 0 },
 		func(c *Config) { c.VSBRetryLimit = 0 },
 		func(c *Config) { c.PowerAttemptLimit = 0 },

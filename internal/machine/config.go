@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"strings"
 
+	"chats/internal/coherence"
 	"chats/internal/faults"
 	"chats/internal/htm"
 )
@@ -111,6 +112,14 @@ type Config struct {
 	// (watchdog/starvation diagnostics), fault injection, PowerTM — are
 	// forced serial regardless.
 	IntraWorkers int
+
+	// DirBanks is the number of address-interleaved directory banks
+	// (power of two in 1..coherence.MaxBanks; 0 means 1). Each bank owns
+	// its lines' MESI state, blocking queues and in-flight flows, and
+	// gets its own scheduling domain, so directory actions for distinct
+	// banks execute in parallel under IntraWorkers instead of
+	// serializing. Results are bit-identical at any bank count.
+	DirBanks int
 }
 
 // DefaultConfig returns the Table I machine.
@@ -140,8 +149,11 @@ func DefaultConfig() Config {
 
 // Validate reports configuration errors early.
 func (c Config) Validate() error {
-	if c.Cores <= 0 || c.Cores > 64 {
-		return fmt.Errorf("machine: cores must be in 1..64, got %d", c.Cores)
+	if c.Cores <= 0 || c.Cores > coherence.MaxCores {
+		return fmt.Errorf("machine: cores must be in 1..%d, got %d", coherence.MaxCores, c.Cores)
+	}
+	if b := c.DirBanks; b != 0 && (b < 0 || b > coherence.MaxBanks || b&(b-1) != 0) {
+		return fmt.Errorf("machine: DirBanks must be a power of two in 1..%d, got %d", coherence.MaxBanks, b)
 	}
 	if c.L1Size <= 0 || c.L1Ways <= 0 {
 		return fmt.Errorf("machine: bad L1 geometry %d/%d", c.L1Size, c.L1Ways)
@@ -185,6 +197,9 @@ func (c Config) KnobsKey() string {
 	}
 	if c.Backoff != (BackoffConfig{}) {
 		parts = append(parts, "bo="+c.Backoff.String())
+	}
+	if c.DirBanks > 1 {
+		parts = append(parts, fmt.Sprintf("db=%d", c.DirBanks))
 	}
 	if len(parts) == 0 {
 		return ""

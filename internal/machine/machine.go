@@ -83,9 +83,14 @@ func New(cfg Config, policy htm.Policy) (*Machine, error) {
 		powerHolder: -1,
 	}
 	m.net = network.New(m.eng, cfg.LinkLatency)
+	// Bank domains sit above the node domains (1..Cores): bank i runs in
+	// domain Cores+1+i, so directory actions for distinct banks — and for
+	// banks vs. nodes — execute concurrently under the parallel engine.
 	m.dir = coherence.NewDirectory(m.eng, m.net, m.memory, coherence.Config{
 		LLCLatency:  cfg.LLCLatency,
 		DRAMLatency: cfg.DRAMLatency,
+		Banks:       cfg.DirBanks,
+		FirstDomain: sim.Domain(cfg.Cores + 1),
 	})
 	if cfg.Faults != nil && cfg.Faults.Enabled() {
 		// The injector owns a dedicated PRNG stream: sharing one with the
@@ -101,12 +106,20 @@ func New(cfg Config, policy htm.Policy) (*Machine, error) {
 			}
 		}
 		if cfg.Faults.Nack > 0 {
-			m.dir.ForceNack = func(req coherence.ReqInfo) bool {
+			fn := func(req coherence.ReqInfo) bool {
 				if m.inj.ForceNack() {
 					m.countFault(req.ID, "nack")
 					return true
 				}
 				return false
+			}
+			if b := cfg.Faults.NackBank; b >= 0 && m.dir.NumBanks() > 1 {
+				// The plan names one bank: arm only its seam (modulo the
+				// actual bank count, so a plan written for 16 banks still
+				// targets a bank on a 4-bank machine).
+				m.dir.SetBankForceNack(b%m.dir.NumBanks(), fn)
+			} else {
+				m.dir.ForceNack = fn
 			}
 		}
 	}
@@ -143,6 +156,19 @@ func New(cfg Config, policy htm.Policy) (*Machine, error) {
 
 // World returns the simulated memory handles for setup and checking.
 func (m *Machine) World() *World { return m.world }
+
+// lockBurstArmed reports whether lockburst injection applies to this
+// machine: when the plan names a bank, bursts only fire on machines
+// whose fallback-lock line is owned by that bank (modulo the actual
+// bank count). The PRNG is not consumed on ineligible machines, like
+// any other disabled fault kind.
+func (m *Machine) lockBurstArmed() bool {
+	b := m.cfg.Faults.LockBurstBank
+	if b < 0 || m.dir.NumBanks() <= 1 {
+		return true
+	}
+	return coherence.BankOf(m.lockLine, m.dir.NumBanks()) == b%m.dir.NumBanks()
+}
 
 func (m *Machine) nextTS() uint64 {
 	m.tsCounter++
@@ -262,10 +288,12 @@ func (m *Machine) collectStats() {
 		m.stats.L1Hits += n.l1.Stats.Hits
 		m.stats.L1Misses += n.l1.Stats.Misses
 	}
+	m.dir.NetShards()
 	m.stats.Flits = m.net.Stats.Flits
 	m.stats.Messages = m.net.Stats.Messages
-	m.stats.DirFwds = m.dir.Stats.Forwards
-	m.stats.DirInvs = m.dir.Stats.Invs
+	ds := m.dir.TotalStats()
+	m.stats.DirFwds = ds.Forwards
+	m.stats.DirInvs = ds.Invs
 }
 
 // flushCaches writes every dirty line back to the memory image so
@@ -299,3 +327,33 @@ func (m *Machine) Stats() RunStats { return m.stats }
 // (1 = serial). Kept out of RunStats so serial and parallel runs stay
 // bit-comparable; runstore stamps it into record metadata instead.
 func (m *Machine) IntraWorkers() int { return m.eng.Workers() }
+
+// WaveStats returns the engine's parallel-coverage counters (events fed
+// to the wave automaton and the waves they formed); events/waves is the
+// events-per-wave figure bench reports quote. Like IntraWorkers it is
+// kept out of RunStats: it measures scheduling structure, not simulated
+// behavior, and must never enter the bit-equality oracles.
+func (m *Machine) WaveStats() (events, waves uint64) { return m.eng.WaveStats() }
+
+// DirBanks returns the directory bank count of the assembled machine.
+func (m *Machine) DirBanks() int { return m.dir.NumBanks() }
+
+// DirBankLoad reports per-bank directory occupancy after a run: how
+// many distinct lines each bank tracked and each bank's share of
+// directory requests (GetS+GetX). The hot-line and CM reports use it to
+// show whether contention concentrated on one bank.
+type DirBankLoad struct {
+	Bank     int
+	Lines    int
+	Requests uint64
+}
+
+// DirBankLoads returns one DirBankLoad per bank, in bank order.
+func (m *Machine) DirBankLoads() []DirBankLoad {
+	loads := make([]DirBankLoad, m.dir.NumBanks())
+	for i := range loads {
+		st := m.dir.BankStats(i)
+		loads[i] = DirBankLoad{Bank: i, Lines: m.dir.BankLines(i), Requests: st.GetS + st.GetX}
+	}
+	return loads
+}

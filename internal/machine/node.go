@@ -254,6 +254,11 @@ type access struct {
 	epoch     uint64
 	nackTries int
 	vsbTries  int
+	// ri is the request metadata, sampled at send time (stIssue) in the
+	// core's own domain: the directory consumes it from a bank domain,
+	// where reading live transaction state would race with serial events
+	// mutating it (e.g. Commit flipping tx.Status).
+	ri        coherence.ReqInfo
 	wbData    mem.Line // lazy-versioning writeback payload
 	ld        loadDone
 	sd        storeDone
@@ -275,15 +280,20 @@ func (c *access) Run() {
 		}
 	case stIssue:
 		c.stage = stReq
-		n.ep.SendControlMsg(sim.DomainSerial, c)
+		if c.kind == accCAS {
+			c.ri = n.reqInfo(false, false)
+		} else {
+			c.ri = n.reqInfo(c.inTx, false)
+		}
+		n.ep.SendControlMsg(n.m.dir.BankDomain(c.a.Line()), c)
 	case stReq:
 		switch c.kind {
 		case accLoad:
-			n.m.dir.GetS(c.a.Line(), n.reqInfo(c.inTx, false), c)
+			n.m.dir.GetS(c.a.Line(), c.ri, c)
 		case accStore:
-			n.m.dir.GetX(c.a.Line(), n.reqInfo(c.inTx, false), c)
+			n.m.dir.GetX(c.a.Line(), c.ri, c)
 		case accCAS:
-			n.m.dir.GetX(c.a.Line(), n.reqInfo(false, false), c)
+			n.m.dir.GetX(c.a.Line(), c.ri, c)
 		}
 	case stWBData:
 		n.m.dir.WriteBackData(c.a.Line(), c.wbData)

@@ -327,12 +327,16 @@ type valOp struct {
 	n     *Node
 	ent   htm.VSBEntry
 	epoch uint64
+	// ri is sampled at issue time, before the hop to the directory: the
+	// request may be consumed from a bank domain, where reading live
+	// transaction state would race with serial events mutating it.
+	ri coherence.ReqInfo
 }
 
 // Run delivers the validation request at the directory.
 func (v *valOp) Run() {
 	n := v.n
-	n.m.dir.GetX(v.ent.Line, n.reqInfo(true, true), v)
+	n.m.dir.GetX(v.ent.Line, v.ri, v)
 }
 
 // HandleResp receives the validation response.
@@ -378,9 +382,10 @@ func (n *Node) issueValidation() {
 	}
 	n.val.ent = ent
 	n.val.epoch = n.tx.Epoch
+	n.val.ri = n.reqInfo(true, true)
 	n.valInFlight = true
 	n.stats.Validations++
-	n.ep.SendControlMsg(sim.DomainSerial, &n.val)
+	n.ep.SendControlMsg(n.m.dir.BankDomain(ent.Line), &n.val)
 }
 
 func (n *Node) onValidationResp(ent htm.VSBEntry, epoch uint64, resp coherence.Resp) {

@@ -35,23 +35,54 @@ func (a Addr) String() string { return fmt.Sprintf("0x%x", uint64(a)) }
 // Line is the value of one cache line: eight 64-bit words.
 type Line [WordsPerLine]uint64
 
+// numShards is the fixed internal shard count of a Memory. It is the
+// upper bound on the coherence directory's bank count: because every
+// power-of-two bank count <= numShards selects banks from the same low
+// line-index bits LineShard uses, two lines owned by different directory
+// banks always live in different memory shards, so concurrently
+// executing banks never touch the same map.
+const numShards = 256
+
+// LineShard returns the shard index in [0, shards) of the line
+// containing a. shards must be a power of two. This is the one address
+// hash shared by the memory's internal sharding and the directory's
+// bank selection (coherence.BankOf): consecutive cache lines round-robin
+// across shards, so regular strides spread load over all banks.
+func LineShard(a Addr, shards int) int {
+	return int((uint64(a) >> LineShift) & uint64(shards-1))
+}
+
 // Memory is the simulated backing store. It always holds the latest
 // committed value of every line (the simulator maintains the invariant
 // that any speculatively modified cache copy has its committed version
 // here, so silent invalidation of speculative lines is always safe).
+//
+// The store is internally sharded by LineShard so that directory banks
+// executing in distinct parallel domains (which by construction touch
+// lines of distinct shards) never race on one Go map.
 type Memory struct {
-	lines map[Addr]*Line
+	shards [numShards]map[Addr]*Line
 }
 
 // NewMemory returns an empty simulated memory. Untouched lines read as
 // zero.
 func NewMemory() *Memory {
-	return &Memory{lines: make(map[Addr]*Line)}
+	m := new(Memory)
+	for i := range m.shards {
+		m.shards[i] = make(map[Addr]*Line)
+	}
+	return m
+}
+
+// shard returns the map holding a's line.
+func (m *Memory) shard(la Addr) map[Addr]*Line {
+	return m.shards[LineShard(la, numShards)]
 }
 
 // ReadLine returns a copy of the line containing a.
 func (m *Memory) ReadLine(a Addr) Line {
-	if l, ok := m.lines[a.Line()]; ok {
+	la := a.Line()
+	if l, ok := m.shard(la)[la]; ok {
 		return *l
 	}
 	return Line{}
@@ -60,17 +91,19 @@ func (m *Memory) ReadLine(a Addr) Line {
 // WriteLine replaces the line containing a with l.
 func (m *Memory) WriteLine(a Addr, l Line) {
 	la := a.Line()
-	p, ok := m.lines[la]
+	s := m.shard(la)
+	p, ok := s[la]
 	if !ok {
 		p = new(Line)
-		m.lines[la] = p
+		s[la] = p
 	}
 	*p = l
 }
 
 // ReadWord returns the committed word at a (a must be word aligned).
 func (m *Memory) ReadWord(a Addr) uint64 {
-	if l, ok := m.lines[a.Line()]; ok {
+	la := a.Line()
+	if l, ok := m.shard(la)[la]; ok {
 		return l[a.WordIndex()]
 	}
 	return 0
@@ -79,23 +112,32 @@ func (m *Memory) ReadWord(a Addr) uint64 {
 // WriteWord sets the committed word at a.
 func (m *Memory) WriteWord(a Addr, v uint64) {
 	la := a.Line()
-	p, ok := m.lines[la]
+	s := m.shard(la)
+	p, ok := s[la]
 	if !ok {
 		p = new(Line)
-		m.lines[la] = p
+		s[la] = p
 	}
 	p[a.WordIndex()] = v
 }
 
 // Touched returns the number of distinct lines ever written.
-func (m *Memory) Touched() int { return len(m.lines) }
+func (m *Memory) Touched() int {
+	n := 0
+	for i := range m.shards {
+		n += len(m.shards[i])
+	}
+	return n
+}
 
 // ForEachLine calls fn with a copy of every line ever written, in
 // unspecified order. Callers needing determinism must sort the addresses
 // themselves (the invariant checker's shadow memory does).
 func (m *Memory) ForEachLine(fn func(a Addr, l Line)) {
-	for a, l := range m.lines {
-		fn(a, *l)
+	for i := range m.shards {
+		for a, l := range m.shards[i] {
+			fn(a, *l)
+		}
 	}
 }
 

@@ -73,6 +73,16 @@ func (r *Record) StampEngine(workers int) {
 	r.IntraWorkers = workers
 }
 
+// StampDirBanks records the directory bank count of the producing run;
+// counts <= 1 are normalized to 1 so the monolithic and single-bank
+// directories stamp identically.
+func (r *Record) StampDirBanks(banks int) {
+	if banks <= 1 {
+		banks = 1
+	}
+	r.DirBanks = banks
+}
+
 // byCause names the non-zero abort causes (cause 0 is "none").
 func byCause(st machine.RunStats) map[string]uint64 {
 	var m map[string]uint64

@@ -100,6 +100,10 @@ type Record struct {
 	EngineMode   string `json:"engine_mode,omitempty"`
 	IntraWorkers int    `json:"intra_workers,omitempty"`
 
+	// DirBanks is the directory bank count of the producing run; zero
+	// on records from before the sharded directory (equivalent to 1).
+	DirBanks int `json:"dir_banks,omitempty"`
+
 	SimCycles   uint64 `json:"simcycles"`
 	WallclockNS int64  `json:"wallclock_ns"`
 	Allocs      uint64 `json:"allocs"`

@@ -162,6 +162,10 @@ type Engine struct {
 	// which case Run takes the serial path below untouched (no
 	// goroutines, no locks, no atomics).
 	par *parState
+
+	// waves tracks parallel coverage (events per same-cycle
+	// distinct-domain segment); see waves.go.
+	waves waveStat
 }
 
 // Halt requests that Run stop before firing the next event, returning
@@ -400,6 +404,7 @@ func (e *Engine) step(c uint64) {
 	ev.index = idxFired
 	e.wheelCount--
 	e.fired++
+	e.waves.note(ev.dom, e.now)
 	if r := ev.run; r != nil {
 		r.Run()
 	} else {

@@ -510,6 +510,7 @@ func (e *Engine) runCycleParallel() {
 				k++
 				ev.index = idxFired
 				e.fired++
+				e.waves.note(DomainSerial, e.now)
 				if r := ev.run; r != nil {
 					r.Run()
 				} else {
@@ -552,6 +553,7 @@ func (e *Engine) runBatch(frame []*Event, k, j int) int {
 			p.groups = append(p.groups, ev.dom)
 		}
 		ds.events = append(ds.events, frameEvt{ev: ev, fi: int32(idx)})
+		e.waves.note(ev.dom, e.now)
 		live++
 	}
 	if len(p.groups) <= 1 || live < parMinBatch {

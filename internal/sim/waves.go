@@ -1,0 +1,58 @@
+package sim
+
+// waveStat measures parallel coverage: how many same-cycle events of
+// distinct non-serial domains sit next to each other in the logical
+// (cycle, seq) fire order. A wave is a maximal run of events that could
+// execute concurrently — it is broken by a serial-domain event (which
+// runs alone), by a cycle boundary, or by a repeated domain (two events
+// of one domain serialize on its worker). events/waves is the
+// events-per-wave figure the bench reports quote: 1.0 means fully
+// serialized, higher means more same-cycle work off the serial domain.
+//
+// The automaton is fed from the logical fire order in both engines, so
+// the figure is comparable across -intra-j values; it is a coverage
+// metric, not a simulation result, and is deliberately kept out of
+// machine.RunStats so the bit-equality oracles never depend on it (the
+// parallel engine counts a mid-batch-cancelled event where the serial
+// engine skips it, an edge the oracles must not see).
+type waveStat struct {
+	events uint64
+	waves  uint64
+	cycle  uint64
+	open   bool
+	seen   []uint64 // bitset over domains in the open wave
+}
+
+// note feeds one fired event to the automaton.
+func (w *waveStat) note(dom Domain, cycle uint64) {
+	w.events++
+	if cycle != w.cycle {
+		w.open = false
+		w.cycle = cycle
+	}
+	if dom == DomainSerial {
+		w.open = false
+		w.waves++
+		return
+	}
+	wi, bit := int(dom)>>6, uint64(1)<<(uint(dom)&63)
+	if wi >= len(w.seen) {
+		w.seen = append(w.seen, make([]uint64, wi+1-len(w.seen))...)
+	}
+	if !w.open || w.seen[wi]&bit != 0 {
+		for i := range w.seen {
+			w.seen[i] = 0
+		}
+		w.open = true
+		w.waves++
+	}
+	w.seen[wi] |= bit
+}
+
+// WaveStats returns the parallel-coverage counters: total events fed to
+// the wave automaton and the number of waves they formed. The ratio
+// events/waves is the average same-cycle segment length the parallel
+// executor can exploit (1.0 = fully serialized).
+func (e *Engine) WaveStats() (events, waves uint64) {
+	return e.waves.events, e.waves.waves
+}
