@@ -129,6 +129,37 @@ func RunWithTracer(cfg Config, w Workload, t Tracer) (Stats, error) {
 	return m.Run(w)
 }
 
+// WaveInfo carries the engine's parallel-coverage counters for one run:
+// fired events, the same-cycle distinct-domain waves they formed, and
+// the subset that ran on the serial domain (each one a full barrier).
+// Events/Waves is the average parallel batch width; Serial/Events the
+// residual barrier fraction. Scheduling structure only — never part of
+// Stats, so bit-equality comparisons don't see it.
+type WaveInfo struct {
+	Events uint64
+	Waves  uint64
+	Serial uint64
+}
+
+// RunObserved is Run with an optional tracer (nil = none) and, when
+// waves is non-nil, the engine's wave counters stored there after the
+// run — the seam record producers use to stamp wave width into the run
+// database without rebuilding the machine.
+func RunObserved(cfg Config, w Workload, t Tracer, waves *WaveInfo) (Stats, error) {
+	m, err := build(cfg)
+	if err != nil {
+		return Stats{}, err
+	}
+	if t != nil {
+		m.SetTracer(t)
+	}
+	st, err := m.Run(w)
+	if waves != nil {
+		waves.Events, waves.Waves, waves.Serial = m.WaveStats()
+	}
+	return st, err
+}
+
 func build(cfg Config) (*machine.Machine, error) {
 	var (
 		policy htm.Policy

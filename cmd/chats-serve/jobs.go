@@ -151,16 +151,16 @@ func (m *jobManager) Start(req sweepRequest) (job, error) {
 			cfg.Machine.Seed = req.Seed
 
 			var col *telemetry.Collector
-			var st chats.Stats
-			start := time.Now()
+			var tracer chats.Tracer
 			if req.Telemetry {
 				// Cap the raw event buffer: the drill-downs only need the
 				// aggregates, which keep counting past the cap.
 				col = telemetry.New(cfg.Machine.Cores, telemetry.Options{MaxEvents: 1})
-				st, err = chats.RunWithTracer(cfg, w, col)
-			} else {
-				st, err = chats.Run(cfg, w)
+				tracer = col
 			}
+			var wv chats.WaveInfo
+			start := time.Now()
+			st, err := chats.RunObserved(cfg, w, tracer, &wv)
 			if err != nil {
 				return fmt.Errorf("%s on %s: %w", cells[i].kind, cells[i].bench, err)
 			}
@@ -168,6 +168,7 @@ func (m *jobManager) Start(req sweepRequest) (job, error) {
 				experiments.TraitsKey(nil), req.Size, time.Since(start).Nanoseconds(), 0)
 			rec.StampEngine(chats.EffectiveIntraWorkers(cfg, req.Telemetry))
 			rec.StampDirBanks(cfg.Machine.DirBanks)
+			rec.StampWaves(wv.Events, wv.Waves, wv.Serial)
 			if col != nil {
 				runstore.AttachTelemetry(&rec, col, 16)
 			}

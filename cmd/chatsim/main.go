@@ -236,14 +236,15 @@ func main() {
 	}
 
 	var st chats.Stats
+	var wv chats.WaveInfo
 	cost := beginCost()
 	switch len(tracers) {
 	case 0:
-		st, err = chats.Run(cfg, w)
+		st, err = chats.RunObserved(cfg, w, nil, &wv)
 	case 1:
-		st, err = chats.RunWithTracer(cfg, w, tracers[0])
+		st, err = chats.RunObserved(cfg, w, tracers[0], &wv)
 	default:
-		st, err = chats.RunWithTracer(cfg, w, tracers)
+		st, err = chats.RunObserved(cfg, w, tracers, &wv)
 	}
 	wallNS, allocs := cost.finish()
 	if err != nil {
@@ -253,6 +254,7 @@ func main() {
 		rec := runstore.FromStats(st, string(cfg.System), cfg.Machine.Seed, experiments.TraitsKey(cfg.Traits), *size, wallNS, allocs)
 		rec.StampEngine(chats.EffectiveIntraWorkers(cfg, len(tracers) > 0))
 		rec.StampDirBanks(cfg.Machine.DirBanks)
+		rec.StampWaves(wv.Events, wv.Waves, wv.Serial)
 		if col != nil {
 			runstore.AttachTelemetry(&rec, col, 16)
 		}
@@ -406,16 +408,17 @@ func runSweep(base chats.Config, systems, benches, size string, jobs, retries, v
 			return err
 		}
 		var st chats.Stats
+		var wv chats.WaveInfo
 		cost := beginCost()
 		if invariants {
 			// One fresh checker per cell: a Checker is per-run state.
 			chk := invariant.New()
-			st, err = chats.RunWithTracer(cells[i].cfg, w, chk)
+			st, err = chats.RunObserved(cells[i].cfg, w, chk, &wv)
 			if err == nil {
 				err = chk.Err()
 			}
 		} else {
-			st, err = chats.Run(cells[i].cfg, w)
+			st, err = chats.RunObserved(cells[i].cfg, w, nil, &wv)
 		}
 		wallNS, allocs := cost.finish()
 		if err != nil {
@@ -426,6 +429,7 @@ func runSweep(base chats.Config, systems, benches, size string, jobs, retries, v
 				experiments.TraitsKey(cells[i].cfg.Traits), size, wallNS, allocs)
 			rec.StampEngine(chats.EffectiveIntraWorkers(cells[i].cfg, invariants))
 			rec.StampDirBanks(cells[i].cfg.Machine.DirBanks)
+			rec.StampWaves(wv.Events, wv.Waves, wv.Serial)
 			record(rec)
 		}
 		results[i] = st

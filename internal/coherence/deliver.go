@@ -1,0 +1,80 @@
+package coherence
+
+import (
+	"chats/internal/mem"
+	"chats/internal/network"
+	"chats/internal/sim"
+)
+
+// This file holds the requester-owned delivery objects that let
+// responses and unblocks travel between core and directory domains
+// without pool crossing: a message payload allocated from one domain's
+// free list must never be recycled from another domain's executing
+// context, so the requester embeds its own mailbox and the directory
+// only fills it.
+
+// RespSlot is a requester-owned response mailbox: the directory fills
+// resp and schedules the slot itself into the requester's domain, so a
+// response delivery needs no pooled directory-side message and runs as
+// an ordinary event of the destination domain (joining its wave instead
+// of splitting the frame on DomainSerial). The owner embeds one slot
+// per outstanding-request lane — the machine's access and valOp flows
+// each guarantee a single request in flight, so one embedded slot each
+// suffices and the whole path stays allocation-free.
+//
+// The embedded unblockMsg is the slot's second lane: the requester's
+// Unblock for the same request, sent core→bank via SendUnblockVia. The
+// two lanes never overlap — the unblock is sent only after the response
+// (which used resp) has been handled, and the next response for this
+// slot arrives a full request round trip after that, long past the
+// unblock's control-latency delivery.
+type RespSlot struct {
+	h    RespHandler
+	dom  sim.Domain
+	resp Resp
+	unb  unblockMsg
+}
+
+// Bind points the slot at its handler and the domain responses should
+// be delivered into (the requester's own domain, or DomainSerial for
+// flows that must run serially). Call before issuing the request the
+// slot will receive the response for.
+func (s *RespSlot) Bind(h RespHandler, dom sim.Domain) {
+	s.h = h
+	s.dom = dom
+}
+
+// Run delivers the buffered response to the handler. Executes in the
+// slot's bound domain.
+func (s *RespSlot) Run() { s.h.HandleResp(s.resp) }
+
+// HandleResp makes the slot a RespHandler — requesters pass &slot to
+// GetS/GetX and the directory detects it for the in-place fast path.
+// Called directly only on paths that bypass the mailbox (immediate
+// synchronous responses, if any); it simply forwards to the bound
+// handler.
+func (s *RespSlot) HandleResp(r Resp) { s.h.HandleResp(r) }
+
+// unblockMsg is the requester's Unblock message for one line: filled by
+// SendUnblockVia at the core, it runs in the owning bank's domain and
+// releases the line there.
+type unblockMsg struct {
+	b    *dirBank
+	line mem.Addr
+}
+
+// Run releases the line at its bank.
+func (u *unblockMsg) Run() { u.b.unblock(u.b.line(u.line)) }
+
+// SendUnblockVia sends the requester's Unblock message for line over
+// the requester's own endpoint (control class), targeting the owning
+// bank's domain. s must be the RespSlot of the request being unblocked:
+// its embedded unblockMsg carries the hop, so the path allocates
+// nothing and touches no bank-owned pool from the core's context. Safe
+// from the slot's bound domain or serial context.
+func (d *Directory) SendUnblockVia(via *network.Endpoint, s *RespSlot, line mem.Addr) {
+	b := d.bankFor(line)
+	s.unb.b = b
+	s.unb.line = line
+	via.SendControlMsg(b.dom, &s.unb)
+}

@@ -39,6 +39,15 @@ type Config struct {
 	// bank on sim.DomainSerial (bit-identical, fully serial — the
 	// correct default for direct-construction tests).
 	FirstDomain sim.Domain
+
+	// CoreDomain, when non-nil, maps a core ID to the scheduling domain
+	// its deliveries (responses through RespSlot, probes) should execute
+	// in — the machine wires the node domains here so deliveries join
+	// the destination's wave instead of serializing the frame. Nil
+	// delivers everything core-bound into sim.DomainSerial (the correct
+	// default for direct-construction tests, whose handlers are not
+	// domain-owned).
+	CoreDomain func(core int) sim.Domain
 }
 
 // Stats counts directory activity.
@@ -228,6 +237,14 @@ func (d *Directory) bankFor(a mem.Addr) *dirBank { return d.banks[d.BankIndex(a)
 // requests to distinct banks execute in parallel.
 func (d *Directory) BankDomain(a mem.Addr) sim.Domain { return d.bankFor(a).dom }
 
+// coreDom returns the delivery domain for core-bound messages to core i.
+func (d *Directory) coreDom(i int) sim.Domain {
+	if d.cfg.CoreDomain == nil {
+		return sim.DomainSerial
+	}
+	return d.cfg.CoreDomain(i)
+}
+
 // SetBankForceNack installs a per-bank override of the ForceNack seam.
 // A nil fn removes the override, falling back to the directory-wide
 // hook.
@@ -282,18 +299,20 @@ func (b *dirBank) accessLatency(l *dirLine) uint64 {
 
 // ---------- pooled messages ----------
 
-// dirMsg ops. Each value is one kind of directory-side event: a response
-// delivery at the requester, a queued-request restart, a post-latency
-// state-transition arm, a probe delivery, or an unblock.
+// dirMsg ops. Each value is one kind of directory-side event: a legacy
+// response delivery at the requester, a queued-request restart, a
+// post-latency state-transition arm, or a requester's unblock. Probe
+// deliveries and flow-internal cancellations need no dirMsg: the flow
+// objects (fwdFlow, invTarget) are their own hop payloads, phase-
+// switched, so nothing pooled at a bank ever travels through a core
+// domain's executing context.
 const (
-	mResp        uint8 = iota // deliver resp at the requester
+	mResp        uint8 = iota // deliver resp at a legacy (non-slot) handler
 	mStart                    // re-issue a queued GetS/GetX
 	mGrantExcl                // serve memory, grant exclusive
 	mGrantShared              // serve memory, add sharer
 	mFwd                      // forward to the exclusive owner
 	mCollect                  // start the invalidation collection
-	mProbe                    // deliver a probe at a core
-	mUnblock                  // release the line (flow-internal cancel paths)
 	mUnblockLine              // requester's Unblock message (by address)
 )
 
@@ -311,7 +330,6 @@ type dirMsg struct {
 	req  ReqInfo
 	h    RespHandler
 	resp Resp
-	p    Probe
 }
 
 func (b *dirBank) newMsg() *dirMsg {
@@ -327,35 +345,41 @@ func (b *dirBank) newMsg() *dirMsg {
 func (b *dirBank) freeMsg(m *dirMsg) {
 	m.h = nil
 	m.l = nil
-	m.p = Probe{}
 	m.resp = Resp{}
 	b.freeMsgs = append(b.freeMsgs, m)
 }
 
 // sendResp schedules a response delivery at the requester over the
-// given message class. Responses are delivered into the serial domain:
-// requester-side handlers touch core/tx state that the per-core domains
-// and the serial events share, and serial events run exclusively.
-func (b *dirBank) sendResp(data bool, h RespHandler, r Resp) {
+// given message class, through via (nil = the bank's own endpoint;
+// only legal from bank or serial execution). A *RespSlot handler is
+// the requester-owned fast path: the slot is filled in place and
+// delivered into its bound domain, so the response executes as an
+// ordinary event of the destination domain. Any other handler (tests'
+// RespFunc) takes the legacy pooled-message path into the serial
+// domain, which is exactly the old behavior and safe because those
+// configurations run the serial engine.
+func (b *dirBank) sendResp(via *network.Endpoint, data bool, h RespHandler, r Resp) {
+	if via == nil {
+		via = &b.ep
+	}
+	if s, ok := h.(*RespSlot); ok {
+		s.resp = r
+		if data {
+			via.SendDataMsg(s.dom, s)
+		} else {
+			via.SendControlMsg(s.dom, s)
+		}
+		return
+	}
 	m := b.newMsg()
 	m.op = mResp
 	m.h = h
 	m.resp = r
 	if data {
-		b.ep.SendDataMsg(sim.DomainSerial, m)
+		via.SendDataMsg(sim.DomainSerial, m)
 	} else {
-		b.ep.SendControlMsg(sim.DomainSerial, m)
+		via.SendControlMsg(sim.DomainSerial, m)
 	}
-}
-
-// sendProbe schedules a probe delivery at a core (serial, like
-// responses: HandleProbe reads and writes core-side state).
-func (b *dirBank) sendProbe(core int, p Probe) {
-	m := b.newMsg()
-	m.op = mProbe
-	m.core = core
-	m.p = p
-	b.ep.SendControlMsg(sim.DomainSerial, m)
 }
 
 func (m *dirMsg) Run() {
@@ -380,13 +404,13 @@ func (m *dirMsg) Run() {
 		l.state = dirE
 		l.owner = req.ID
 		l.sharers = sharerSet{}
-		b.sendResp(true, h, Resp{Kind: RespData, Data: data, Excl: true})
+		b.sendResp(nil, true, h, Resp{Kind: RespData, Data: data, Excl: true})
 	case mGrantShared:
 		line, l, req, h := m.line, m.l, m.req, m.h
 		b.freeMsg(m)
 		data := b.d.memory.ReadLine(line)
 		l.sharers.set(req.ID)
-		b.sendResp(true, h, Resp{Kind: RespData, Data: data, Excl: false})
+		b.sendResp(nil, true, h, Resp{Kind: RespData, Data: data, Excl: false})
 	case mFwd:
 		f := b.newFwd()
 		f.line = m.line
@@ -395,25 +419,13 @@ func (m *dirMsg) Run() {
 		f.h = m.h
 		f.owner = m.core
 		f.isX = m.isX
-		kind := FwdGetS
-		if m.isX {
-			kind = FwdGetX
-		}
-		req := m.req
+		f.phase = fwdDeliver
 		b.freeMsg(m)
-		b.sendProbe(f.owner, Probe{Line: f.line, Kind: kind, Req: req, Reply: f})
+		b.ep.SendControlMsg(b.d.coreDom(f.owner), f)
 	case mCollect:
 		line, l, req, h := m.line, m.l, m.req, m.h
 		b.freeMsg(m)
 		b.collectInvs(line, l, req, h)
-	case mProbe:
-		core, p := m.core, m.p
-		b.freeMsg(m)
-		b.d.cores[core].HandleProbe(p)
-	case mUnblock:
-		l := m.l
-		b.freeMsg(m)
-		b.unblock(l)
 	case mUnblockLine:
 		line := m.line
 		b.freeMsg(m)
@@ -424,10 +436,15 @@ func (m *dirMsg) Run() {
 }
 
 // fwdFlow is the continuation of a request forwarded to an exclusive
-// owner: it is the probe's replier, and — for the reply arms that need a
-// second directory-side hop — its own event payload. The reply methods
-// run at the probed core (serial context); the second hop executes in
-// the owning bank's domain.
+// owner: it is the probe's own delivery payload (fwdDeliver phase runs
+// in the probed core's domain and invokes HandleProbe), the probe's
+// replier, and the payload of every second directory-side hop. The
+// reply methods run at the probed core and must not touch bank-owned
+// pools or stats shards; arms that need bank-side bookkeeping (the
+// spec-cancel and nack cancellations) ship the flow itself back to the
+// bank's domain through the replying core's endpoint and do the
+// bookkeeping on arrival, which keeps the event sequence (one control
+// hop, same delay) identical to the old serial-delivered scheme.
 type fwdFlow struct {
 	b     *dirBank
 	line  mem.Addr
@@ -441,9 +458,12 @@ type fwdFlow struct {
 }
 
 const (
-	fwdMemS   uint8 = iota // GetS data reply: refresh memory, go Shared
-	fwdMemX                // GetX data reply: refresh memory, move ownership
-	fwdNoData              // owner dropped the line: serve memory, grant E
+	fwdMemS       uint8 = iota // GetS data reply: refresh memory, go Shared
+	fwdMemX                    // GetX data reply: refresh memory, move ownership
+	fwdNoData                  // owner dropped the line: serve memory, grant E
+	fwdDeliver                 // deliver the probe at the exclusive owner
+	fwdCancelSpec              // bank side of a spec-forwarded cancel: count, unblock
+	fwdCancelNack              // bank side of a nack: count, unblock
 )
 
 func (b *dirBank) newFwd() *fwdFlow {
@@ -462,47 +482,51 @@ func (b *dirBank) freeFwd(f *fwdFlow) {
 	b.freeFwds = append(b.freeFwds, f)
 }
 
-func (f *fwdFlow) ReplyData(data mem.Line) {
+// via resolves the endpoint a reply's hops travel through: the probed
+// core's endpoint normally, the bank's own as the serial-only fallback.
+func (f *fwdFlow) via(ep *network.Endpoint) *network.Endpoint {
+	if ep == nil {
+		return &f.b.ep
+	}
+	return ep
+}
+
+func (f *fwdFlow) ReplyData(via *network.Endpoint, data mem.Line) {
 	b := f.b
+	ep := f.via(via)
 	if f.isX {
 		// Ownership moves; memory refreshed so the (possibly
 		// transactional) new owner can be silently invalidated.
-		b.sendResp(true, f.h, Resp{Kind: RespData, Data: data, Excl: true})
+		b.sendResp(ep, true, f.h, Resp{Kind: RespData, Data: data, Excl: true})
 		f.phase = fwdMemX
 	} else {
 		// Owner keeps a Shared copy; data to requester and to memory.
-		b.sendResp(true, f.h, Resp{Kind: RespData, Data: data, Excl: false})
+		b.sendResp(ep, true, f.h, Resp{Kind: RespData, Data: data, Excl: false})
 		f.phase = fwdMemS
 	}
 	f.data = data
-	b.ep.SendDataMsg(b.dom, f)
+	ep.SendDataMsg(b.dom, f)
 }
 
-func (f *fwdFlow) ReplyNoData() {
+func (f *fwdFlow) ReplyNoData(via *network.Endpoint) {
 	f.phase = fwdNoData
-	f.b.ep.SendControlMsg(f.b.dom, f)
+	f.via(via).SendControlMsg(f.b.dom, f)
 }
 
-func (f *fwdFlow) ReplySpec(data mem.Line, pic PiC) {
+func (f *fwdFlow) ReplySpec(via *network.Endpoint, data mem.Line, pic PiC) {
 	b := f.b
-	b.stats.SpecCancels++
-	b.sendResp(true, f.h, Resp{Kind: RespSpec, Data: data, PiC: pic})
-	m := b.newMsg() // cancel at directory
-	m.op = mUnblock
-	m.l = f.l
-	b.ep.SendControlMsg(b.dom, m)
-	b.freeFwd(f)
+	ep := f.via(via)
+	b.sendResp(ep, true, f.h, Resp{Kind: RespSpec, Data: data, PiC: pic})
+	f.phase = fwdCancelSpec // cancel at directory
+	ep.SendControlMsg(b.dom, f)
 }
 
-func (f *fwdFlow) ReplyNack() {
+func (f *fwdFlow) ReplyNack(via *network.Endpoint) {
 	b := f.b
-	b.stats.Nacks++
-	b.sendResp(false, f.h, Resp{Kind: RespNack})
-	m := b.newMsg()
-	m.op = mUnblock
-	m.l = f.l
-	b.ep.SendControlMsg(b.dom, m)
-	b.freeFwd(f)
+	ep := f.via(via)
+	b.sendResp(ep, false, f.h, Resp{Kind: RespNack})
+	f.phase = fwdCancelNack
+	ep.SendControlMsg(b.dom, f)
 }
 
 func (f *fwdFlow) Run() {
@@ -530,7 +554,23 @@ func (f *fwdFlow) Run() {
 		f.l.sharers = sharerSet{}
 		h := f.h
 		b.freeFwd(f)
-		b.sendResp(true, h, Resp{Kind: RespData, Data: data, Excl: true})
+		b.sendResp(nil, true, h, Resp{Kind: RespData, Data: data, Excl: true})
+	case fwdDeliver:
+		kind := FwdGetS
+		if f.isX {
+			kind = FwdGetX
+		}
+		b.d.cores[f.owner].HandleProbe(Probe{Line: f.line, Kind: kind, Req: f.req, Reply: f})
+	case fwdCancelSpec:
+		b.stats.SpecCancels++
+		l := f.l
+		b.freeFwd(f)
+		b.unblock(l)
+	case fwdCancelNack:
+		b.stats.Nacks++
+		l := f.l
+		b.freeFwd(f)
+		b.unblock(l)
 	default:
 		panic("coherence: bad fwdFlow phase")
 	}
@@ -575,32 +615,41 @@ func (c *invCollect) done() {
 	switch {
 	case c.nacked:
 		b.stats.Nacks++
-		b.sendResp(false, c.h, Resp{Kind: RespNack})
+		b.sendResp(nil, false, c.h, Resp{Kind: RespNack})
 		b.unblock(c.l)
 	case c.refused:
 		b.stats.SpecCancels++
 		data := b.d.memory.ReadLine(c.line)
-		b.sendResp(true, c.h, Resp{Kind: RespSpec, Data: data, PiC: c.minPiC})
+		b.sendResp(nil, true, c.h, Resp{Kind: RespSpec, Data: data, PiC: c.minPiC})
 		b.unblock(c.l)
 	default:
 		data := b.d.memory.ReadLine(c.line)
 		c.l.state = dirE
 		c.l.owner = c.req.ID
 		c.l.sharers = sharerSet{}
-		b.sendResp(true, c.h, Resp{Kind: RespData, Data: data, Excl: true})
+		b.sendResp(nil, true, c.h, Resp{Kind: RespData, Data: data, Excl: true})
 		// requester's Unblock releases the line
 	}
 	b.freeInvCollect(c)
 }
 
-// invTarget is one sharer's probe replier and the payload of its ack
-// hop back to the directory bank.
+// invTarget is one sharer's probe delivery payload (invDeliver phase
+// runs in the sharer's domain and invokes HandleProbe), its probe
+// replier, and the payload of its ack hop back to the directory bank.
+// The reply methods run at the probed core and only route the ack; all
+// bookkeeping (and the object's recycling) happens bank-side in Run.
 type invTarget struct {
 	c      *invCollect
 	target int
+	phase  uint8 // invDeliver | invAck
 	act    uint8
 	pic    PiC
 }
+
+const (
+	invDeliver uint8 = iota // deliver the invalidation probe at the sharer
+	invAck                  // ack arrived back at the bank
+)
 
 const (
 	ackInv uint8 = iota // invalidated (or already silently dropped)
@@ -615,33 +664,49 @@ func (b *dirBank) newInvT(c *invCollect, target int) *invTarget {
 		b.freeInvT = b.freeInvT[:n-1]
 		t.c = c
 		t.target = target
+		t.phase = invDeliver
 		return t
 	}
-	return &invTarget{c: c, target: target}
+	return &invTarget{c: c, target: target, phase: invDeliver}
 }
 
-func (t *invTarget) ReplyData(mem.Line) { // invalidated (clean sharer)
-	t.act = ackInv
+// ack routes the reply back to the owning bank's domain through the
+// replying core's endpoint (nil via = the bank's own endpoint, the
+// serial-only fallback).
+func (t *invTarget) ack(via *network.Endpoint) {
+	t.phase = invAck
 	b := t.c.b
-	b.ep.SendControlMsg(b.dom, t)
+	if via == nil {
+		via = &b.ep
+	}
+	via.SendControlMsg(b.dom, t)
 }
 
-func (t *invTarget) ReplyNoData() { t.ReplyData(mem.Line{}) } // already silently dropped
+func (t *invTarget) ReplyData(via *network.Endpoint, _ mem.Line) { // invalidated (clean sharer)
+	t.act = ackInv
+	t.ack(via)
+}
 
-func (t *invTarget) ReplySpec(_ mem.Line, pic PiC) {
+// already silently dropped
+func (t *invTarget) ReplyNoData(via *network.Endpoint) { t.ReplyData(via, mem.Line{}) }
+
+func (t *invTarget) ReplySpec(via *network.Endpoint, _ mem.Line, pic PiC) {
 	t.act = ackSpec
 	t.pic = pic
-	b := t.c.b
-	b.ep.SendControlMsg(b.dom, t)
+	t.ack(via)
 }
 
-func (t *invTarget) ReplyNack() {
+func (t *invTarget) ReplyNack(via *network.Endpoint) {
 	t.act = ackNack
-	b := t.c.b
-	b.ep.SendControlMsg(b.dom, t)
+	t.ack(via)
 }
 
 func (t *invTarget) Run() {
+	if t.phase == invDeliver {
+		c := t.c
+		c.b.d.cores[t.target].HandleProbe(Probe{Line: c.line, Kind: InvProbe, Req: c.req, Reply: t})
+		return
+	}
 	c, target, act, pic := t.c, t.target, t.act, t.pic
 	t.c = nil
 	c.b.freeInvT = append(c.b.freeInvT, t)
@@ -741,7 +806,7 @@ func (b *dirBank) getS(lineAddr mem.Addr, req ReqInfo, resp RespHandler) {
 	}
 	if b.shouldForceNack(req) {
 		b.stats.Nacks++
-		b.sendResp(false, resp, Resp{Kind: RespNack})
+		b.sendResp(nil, false, resp, Resp{Kind: RespNack})
 		b.startNext(l)
 		return
 	}
@@ -779,7 +844,7 @@ func (b *dirBank) getX(lineAddr mem.Addr, req ReqInfo, resp RespHandler) {
 	}
 	if b.shouldForceNack(req) {
 		b.stats.Nacks++
-		b.sendResp(false, resp, Resp{Kind: RespNack})
+		b.sendResp(nil, false, resp, Resp{Kind: RespNack})
 		b.startNext(l)
 		return
 	}
@@ -838,7 +903,7 @@ func (b *dirBank) collectInvs(lineAddr mem.Addr, l *dirLine, req ReqInfo, resp R
 		}
 		b.stats.Invs++
 		t := b.newInvT(c, i)
-		b.sendProbe(i, Probe{Line: lineAddr, Kind: InvProbe, Req: req, Reply: t})
+		b.ep.SendControlMsg(b.d.coreDom(i), t)
 	}
 }
 
@@ -865,10 +930,26 @@ func (d *Directory) WriteBack(lineAddr mem.Addr, data mem.Line, sender int, canc
 // line whose ownership the sender keeps — the pre-speculative-write
 // writeback of lazy versioning (Section VI-B: "non-speculative values
 // are written back to L2 before a block in L1 is speculatively
-// modified"). Coherence state is untouched.
+// modified"). Coherence state is untouched. Must execute in the owning
+// bank's domain (or serially); the machine's domain-routed path is
+// WriteBackDataAck.
 func (d *Directory) WriteBackData(lineAddr mem.Addr, data mem.Line) {
 	d.bankFor(lineAddr).stats.Writebacks++
 	d.memory.WriteLine(lineAddr, data)
+}
+
+// WriteBackDataAck is WriteBackData plus the acknowledgement hop back
+// to the writer: the bank applies the writeback and sends ack (a
+// requester-owned payload, typically the issuing access itself) over
+// its own endpoint into ackTo, the writer's domain. Called from the
+// owning bank's domain — the writer ships its stWBData event to
+// BankDomain(lineAddr) and calls this on arrival, so both the memory
+// write and the stats shard stay bank-owned.
+func (d *Directory) WriteBackDataAck(lineAddr mem.Addr, data mem.Line, ackTo sim.Domain, ack sim.Runner) {
+	b := d.bankFor(lineAddr)
+	b.stats.Writebacks++
+	d.memory.WriteLine(lineAddr, data)
+	b.ep.SendControlMsg(ackTo, ack)
 }
 
 // DropSharer records that core id silently discarded a Shared copy. The

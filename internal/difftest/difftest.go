@@ -170,6 +170,7 @@ func CheckSystem(p *randprog.Program, kind core.Kind, opts Options) error {
 			time.Since(start).Nanoseconds(), 0)
 		r.StampEngine(m.IntraWorkers())
 		r.StampDirBanks(m.DirBanks())
+		r.StampWaves(m.WaveStats())
 		opts.Record(r)
 	}
 	if err != nil {

@@ -27,9 +27,12 @@ type CellBench struct {
 	// events grouped into same-cycle distinct-domain waves (a wave is
 	// the unit the intra-run executor can overlap). events/waves is the
 	// average batch width — higher means more headroom for -intra-j.
+	// SerialEvents counts the subset that ran on DomainSerial (each one
+	// a full barrier); serial/events is the residual barrier fraction.
 	// Zero on files written before the wave counters existed.
-	WaveEvents uint64 `json:"wave_events,omitempty"`
-	Waves      uint64 `json:"waves,omitempty"`
+	WaveEvents   uint64 `json:"wave_events,omitempty"`
+	Waves        uint64 `json:"waves,omitempty"`
+	SerialEvents uint64 `json:"serial_events,omitempty"`
 }
 
 // BenchReport is the top-level -bench-json document.

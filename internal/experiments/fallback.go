@@ -183,6 +183,7 @@ func FallbackMatrix(p Params, benches []string) *FallbackReport {
 				p.Size.String(), rec.bench.WallclockNS, rec.bench.Allocs)
 			r.StampEngine(m.IntraWorkers())
 			r.StampDirBanks(m.DirBanks())
+			r.StampWaves(m.WaveStats())
 			p.Recorder(r)
 		}
 		c.Stats = st

@@ -123,6 +123,7 @@ func FaultSoak(p Params, benches []string) *SoakReport {
 				p.Size.String(), rec.bench.WallclockNS, rec.bench.Allocs)
 			r.StampEngine(m.IntraWorkers())
 			r.StampDirBanks(m.DirBanks())
+			r.StampWaves(m.WaveStats())
 			p.Recorder(r)
 		}
 		c.Stats = st

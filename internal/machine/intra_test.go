@@ -81,3 +81,48 @@ func TestIntraForcedSerial(t *testing.T) {
 		t.Errorf("CHATS run used %d workers, want 4", got)
 	}
 }
+
+// TestWaveSerialFraction pins the delivery routing at the machine
+// level: with responses, probes, unblocks and writeback data running in
+// their destination's domain, the serial residue of a run is only the
+// begin flow's timestamp draws and in-flight eviction writebacks —
+// well under half of all events even on a maximally contended counter.
+// The counters themselves must also be deterministic: the wave
+// accounting is engine bookkeeping, identical at every worker count.
+func TestWaveSerialFraction(t *testing.T) {
+	measure := func(workers, banks int) (events, waves, serial uint64) {
+		policy, err := core.New(core.KindCHATS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := testCfg()
+		cfg.IntraWorkers = workers
+		cfg.DirBanks = banks
+		m, err := New(cfg, policy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Run(&counterWL{iters: 30}); err != nil {
+			t.Fatal(err)
+		}
+		return m.WaveStats()
+	}
+	events, waves, serial := measure(1, 4)
+	if events == 0 || waves == 0 || waves > events {
+		t.Fatalf("WaveStats = (%d, %d, %d): not a plausible accounting", events, waves, serial)
+	}
+	if serial == 0 {
+		t.Fatalf("serial residue is zero: the begin flow must still draw timestamps serially")
+	}
+	if frac := float64(serial) / float64(events); frac >= 0.5 {
+		t.Errorf("serial fraction = %.2f (%d of %d events): deliveries are not reaching their destination domains",
+			frac, serial, events)
+	}
+	for _, workers := range []int{2, 8} {
+		e, w, s := measure(workers, 4)
+		if e != events || w != waves || s != serial {
+			t.Errorf("IntraWorkers=%d: WaveStats (%d,%d,%d) diverged from serial (%d,%d,%d)",
+				workers, e, w, s, events, waves, serial)
+		}
+	}
+}

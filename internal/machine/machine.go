@@ -91,6 +91,7 @@ func New(cfg Config, policy htm.Policy) (*Machine, error) {
 		DRAMLatency: cfg.DRAMLatency,
 		Banks:       cfg.DirBanks,
 		FirstDomain: sim.Domain(cfg.Cores + 1),
+		CoreDomain:  func(core int) sim.Domain { return sim.Domain(1 + core) },
 	})
 	if cfg.Faults != nil && cfg.Faults.Enabled() {
 		// The injector owns a dedicated PRNG stream: sharing one with the
@@ -329,11 +330,13 @@ func (m *Machine) Stats() RunStats { return m.stats }
 func (m *Machine) IntraWorkers() int { return m.eng.Workers() }
 
 // WaveStats returns the engine's parallel-coverage counters (events fed
-// to the wave automaton and the waves they formed); events/waves is the
-// events-per-wave figure bench reports quote. Like IntraWorkers it is
-// kept out of RunStats: it measures scheduling structure, not simulated
-// behavior, and must never enter the bit-equality oracles.
-func (m *Machine) WaveStats() (events, waves uint64) { return m.eng.WaveStats() }
+// to the wave automaton, the waves they formed, and how many ran on
+// DomainSerial); events/waves is the events-per-wave figure bench
+// reports quote, serial/events the residual barrier fraction. Like
+// IntraWorkers it is kept out of RunStats: it measures scheduling
+// structure, not simulated behavior, and must never enter the
+// bit-equality oracles.
+func (m *Machine) WaveStats() (events, waves, serial uint64) { return m.eng.WaveStats() }
 
 // DirBanks returns the directory bank count of the assembled machine.
 func (m *Machine) DirBanks() int { return m.dir.NumBanks() }

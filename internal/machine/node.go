@@ -51,11 +51,13 @@ func (wb *pendingWB) Run() {
 // and the probe handler. All methods run at engine time; completion
 // callbacks are invoked at engine time too. Under intra-run parallelism
 // the node's core-side events (demand accesses, thread timers, commit
-// replies) run in the node's own domain and may execute concurrently
-// with other nodes' same-cycle events, while everything delivered at the
-// directory — requests, writebacks, probes, validation — runs in the
-// serial domain. Node state is therefore only ever touched by the node's
-// own domain or by serial events (which run alone).
+// replies, and now inbound deliveries: responses via RespSlot and
+// probes) run in the node's own domain, while directory-side events
+// (requests, unblocks, writeback data, probe replies returning to their
+// flow) run in the owning bank's domain. Node state is therefore only
+// ever touched by the node's own domain or by serial events (which run
+// alone); the only remaining serial hops are the begin flow (global
+// timestamp order) and eviction writebacks (see handleVictim).
 type Node struct {
 	id     int
 	m      *Machine
@@ -172,6 +174,13 @@ func (n *Node) handleVictim(v *cache.Victim) {
 		wb.tag = v.Tag
 		wb.data = v.Data
 		n.wbPending[v.Tag] = wb
+		// Eviction writebacks stay in the serial domain: while the message
+		// is in flight, a probe served from wbPending (core domain) or a
+		// reinstall can cancel it, and the delivery must observe that
+		// cancellation coherently. Routing the delivery into the bank
+		// domain would let it race with the same-cycle core-side cancel;
+		// the serial hop closes that window. Evictions are rare enough
+		// that this is not a wave-width bottleneck.
 		n.ep.SendDataMsg(sim.DomainSerial, wb)
 	}
 	// Clean lines (E, M-clean, S) drop silently; the directory tolerates
@@ -258,11 +267,17 @@ type access struct {
 	// core's own domain: the directory consumes it from a bank domain,
 	// where reading live transaction state would race with serial events
 	// mutating it (e.g. Commit flipping tx.Status).
-	ri        coherence.ReqInfo
-	wbData    mem.Line // lazy-versioning writeback payload
-	ld        loadDone
-	sd        storeDone
-	cd        casDone
+	ri coherence.ReqInfo
+	// slot is the flow's response mailbox: bound to this access and its
+	// domain at issue time, filled at the directory, delivered straight
+	// into c.dom so responses execute in the requester's own domain
+	// instead of serializing the frame. Its embedded unblock message
+	// carries the core→bank Unblock for the same request.
+	slot   coherence.RespSlot
+	wbData mem.Line // lazy-versioning writeback payload
+	ld     loadDone
+	sd     storeDone
+	cd     casDone
 }
 
 // Run advances the access to its next stage.
@@ -289,16 +304,17 @@ func (c *access) Run() {
 	case stReq:
 		switch c.kind {
 		case accLoad:
-			n.m.dir.GetS(c.a.Line(), c.ri, c)
+			n.m.dir.GetS(c.a.Line(), c.ri, &c.slot)
 		case accStore:
-			n.m.dir.GetX(c.a.Line(), c.ri, c)
+			n.m.dir.GetX(c.a.Line(), c.ri, &c.slot)
 		case accCAS:
-			n.m.dir.GetX(c.a.Line(), c.ri, c)
+			n.m.dir.GetX(c.a.Line(), c.ri, &c.slot)
 		}
 	case stWBData:
-		n.m.dir.WriteBackData(c.a.Line(), c.wbData)
+		// Executing in the owning bank's domain: apply the writeback
+		// there and let the bank send the ack back into c.dom.
 		c.stage = stWBAck
-		n.ep.SendControlMsg(c.dom, c)
+		n.m.dir.WriteBackDataAck(c.a.Line(), c.wbData, c.dom, c)
 	case stWBAck:
 		if cur := n.l1.Peek(c.a.Line()); cur != nil {
 			cur.Dirty = false
@@ -326,9 +342,12 @@ func (c *access) HandleResp(resp coherence.Resp) {
 }
 
 // issueL2 charges the L2 traversal and sends the request to the
-// directory over the interconnect.
+// directory over the interconnect. The response mailbox is bound here,
+// before the request can leave the core: the directory fills it from a
+// bank domain and delivers it back into c.dom.
 func (c *access) issueL2() {
 	c.stage = stIssue
+	c.slot.Bind(c, c.dom)
 	c.n.sched.ScheduleRunnerIn(c.dom, c.n.m.cfg.L2Latency, c)
 }
 
@@ -398,7 +417,7 @@ func (n *Node) onLoadResp(c *access, resp coherence.Resp) {
 			st = cache.Exclusive
 		}
 		ok := n.install(line, st, resp.Data, false, false)
-		n.m.dir.SendUnblock(line)
+		n.m.dir.SendUnblockVia(&n.ep, &c.slot, line)
 		if stale {
 			done.onLoadDone(0, true)
 			return
@@ -564,10 +583,11 @@ func (n *Node) store1(c *access) {
 					// Lazy versioning: the committed value must reach the
 					// LLC before the first speculative write, so a later
 					// silent gang-invalidation cannot lose it. The store
-					// stalls until the writeback lands.
+					// stalls until the writeback lands — delivered at the
+					// owning bank's domain, which acks back into c.dom.
 					c.wbData = e.Data
 					c.stage = stWBData
-					n.ep.SendDataMsg(sim.DomainSerial, c)
+					n.ep.SendDataMsg(n.m.dir.BankDomain(line), c)
 					return
 				}
 				e.SM = true
@@ -599,7 +619,7 @@ func (n *Node) onStoreResp(c *access, resp coherence.Resp) {
 	switch resp.Kind {
 	case coherence.RespData:
 		ok := n.install(line, cache.Modified, resp.Data, false, false)
-		n.m.dir.SendUnblock(line)
+		n.m.dir.SendUnblockVia(&n.ep, &c.slot, line)
 		if stale {
 			done.onStoreDone(true)
 			return
@@ -718,7 +738,7 @@ func (n *Node) onCASResp(c *access, resp coherence.Resp) {
 		if !n.install(line, cache.Modified, resp.Data, false, false) {
 			panic("machine: CAS install failed")
 		}
-		n.m.dir.SendUnblock(line)
+		n.m.dir.SendUnblockVia(&n.ep, &c.slot, line)
 		e := n.l1.Peek(line)
 		prev := e.Data[a.WordIndex()]
 		if prev == old {

@@ -18,7 +18,7 @@ func (n *Node) HandleProbe(p coherence.Probe) {
 		// Serve from the writeback buffer; the in-flight WB is withdrawn.
 		wb.cancelled = true
 		delete(n.wbPending, line)
-		p.ReplyData(wb.data)
+		p.ReplyDataVia(&n.ep, wb.data)
 		return
 	}
 	e := n.l1.Peek(line)
@@ -76,10 +76,10 @@ func (n *Node) HandleProbe(p coherence.Probe) {
 		if e != nil {
 			data = e.Data
 		}
-		p.ReplySpec(data, pic)
+		p.ReplySpecVia(&n.ep, data, pic)
 	case htm.DecideNack:
 		n.stats.DecNack++
-		p.ReplyNack()
+		p.ReplyNackVia(&n.ep)
 	case htm.DecideAbort:
 		n.stats.DecAbort++
 		cause := htm.CauseConflict
@@ -98,9 +98,9 @@ func (n *Node) HandleProbe(p coherence.Probe) {
 func (n *Node) replyNormal(p coherence.Probe, e *cache.Entry) {
 	if e == nil {
 		if p.Kind == coherence.InvProbe {
-			p.ReplyData(mem.Line{}) // nothing to invalidate
+			p.ReplyDataVia(&n.ep, mem.Line{}) // nothing to invalidate
 		} else {
-			p.ReplyNoData() // silently dropped; directory serves memory
+			p.ReplyNoDataVia(&n.ep) // silently dropped; directory serves memory
 		}
 		return
 	}
@@ -112,14 +112,14 @@ func (n *Node) replyNormal(p coherence.Probe, e *cache.Entry) {
 		data := e.Data
 		e.State = cache.Shared
 		e.Dirty = false // the transfer refreshes the memory image
-		p.ReplyData(data)
+		p.ReplyDataVia(&n.ep, data)
 	case coherence.FwdGetX:
 		data := e.Data
 		n.l1.Invalidate(p.Line)
-		p.ReplyData(data)
+		p.ReplyDataVia(&n.ep, data)
 	case coherence.InvProbe:
 		n.l1.Invalidate(p.Line)
-		p.ReplyData(mem.Line{})
+		p.ReplyDataVia(&n.ep, mem.Line{})
 	}
 }
 
@@ -331,12 +331,16 @@ type valOp struct {
 	// request may be consumed from a bank domain, where reading live
 	// transaction state would race with serial events mutating it.
 	ri coherence.ReqInfo
+	// slot is the validation lane's response mailbox: bound to the node's
+	// domain at issue time, it lets the directory deliver the response
+	// (and carry the follow-up Unblock) without a serial-domain hop.
+	slot coherence.RespSlot
 }
 
-// Run delivers the validation request at the directory.
+// Run delivers the validation request at the directory (bank domain).
 func (v *valOp) Run() {
 	n := v.n
-	n.m.dir.GetX(v.ent.Line, v.ri, v)
+	n.m.dir.GetX(v.ent.Line, v.ri, &v.slot)
 }
 
 // HandleResp receives the validation response.
@@ -383,6 +387,7 @@ func (n *Node) issueValidation() {
 	n.val.ent = ent
 	n.val.epoch = n.tx.Epoch
 	n.val.ri = n.reqInfo(true, true)
+	n.val.slot.Bind(&n.val, n.sched.Domain())
 	n.valInFlight = true
 	n.stats.Validations++
 	n.ep.SendControlMsg(n.m.dir.BankDomain(ent.Line), &n.val)
@@ -393,7 +398,7 @@ func (n *Node) onValidationResp(ent htm.VSBEntry, epoch uint64, resp coherence.R
 	stale := n.tx.Epoch != epoch
 	switch resp.Kind {
 	case coherence.RespData:
-		n.m.dir.SendUnblock(ent.Line)
+		n.m.dir.SendUnblockVia(&n.ep, &n.val.slot, ent.Line)
 		if stale {
 			// Ownership granted to a dead transaction: adopt the line as a
 			// plain clean copy so the directory's view stays consistent.

@@ -1,0 +1,171 @@
+package network_test
+
+import (
+	"testing"
+
+	"chats/internal/network"
+	"chats/internal/sim"
+)
+
+// arrival records its delivery cycle; the payload type every test uses.
+type arrival struct {
+	eng *sim.Engine
+	log *[]uint64
+}
+
+func (a *arrival) Run() { *a.log = append(*a.log, a.eng.Now()) }
+
+// TestEndpointFlitAccounting pins the per-class cost model on the
+// endpoint path: a control message is ControlFlits flits delivered
+// after linkLatency+ControlFlits cycles, a data message DataFlits flits
+// after linkLatency+DataFlits, and the shard counts every class and
+// flit exactly.
+func TestEndpointFlitAccounting(t *testing.T) {
+	var eng sim.Engine
+	const linkLatency = 3
+	net := network.New(&eng, linkLatency)
+	ep := net.NewEndpoint(eng.NewSched(sim.DomainSerial))
+
+	var log []uint64
+	a := &arrival{eng: &eng, log: &log}
+	ep.SendControlMsg(sim.DomainSerial, a)
+	ep.SendDataMsg(sim.DomainSerial, a)
+	if _, err := eng.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{linkLatency + network.ControlFlits, linkLatency + network.DataFlits}
+	if len(log) != 2 || log[0] != want[0] || log[1] != want[1] {
+		t.Fatalf("delivery cycles = %v, want %v", log, want)
+	}
+	st := ep.Stats
+	if st.ControlMsgs != 1 || st.DataMsgs != 1 || st.Messages != 2 {
+		t.Fatalf("shard counts = %+v, want 1 control + 1 data", st)
+	}
+	if want := uint64(network.ControlFlits + network.DataFlits); st.Flits != want {
+		t.Fatalf("shard flits = %d, want %d", st.Flits, want)
+	}
+}
+
+// TestEndpointShardFolding sends a known mix through several endpoints
+// plus the network's own send path and checks AddShard reproduces the
+// exact totals: per-shard counters plus the network's own must fold
+// without loss or double counting — the machine relies on this when it
+// merges per-node shards into RunStats after a run.
+func TestEndpointShardFolding(t *testing.T) {
+	var eng sim.Engine
+	net := network.New(&eng, 1)
+
+	nop := &arrival{eng: &eng, log: new([]uint64)}
+	const owners = 3
+	eps := make([]network.Endpoint, owners)
+	// Per-owner mix: owner i sends i+1 control and 2i data messages.
+	for i := range eps {
+		eps[i] = net.NewEndpoint(eng.NewSched(sim.Domain(1 + i)))
+		for k := 0; k < i+1; k++ {
+			eps[i].SendControlMsg(sim.DomainSerial, nop)
+		}
+		for k := 0; k < 2*i; k++ {
+			eps[i].SendDataMsg(sim.DomainSerial, nop)
+		}
+	}
+	// Plus traffic on the network's own (serial) path.
+	net.SendControl(func() {})
+	net.SendData(func() {})
+	if _, err := eng.Run(0); err != nil {
+		t.Fatal(err)
+	}
+
+	wantCtl := uint64(1 + (1 + 2 + 3)) // network's own + sum over owners
+	wantData := uint64(1 + (0 + 2 + 4))
+	for i := range eps {
+		sh := eps[i].Stats
+		if sh.ControlMsgs != uint64(i+1) || sh.DataMsgs != uint64(2*i) {
+			t.Fatalf("owner %d shard = %+v, want %d control %d data", i, sh, i+1, 2*i)
+		}
+		if sh.Messages != sh.ControlMsgs+sh.DataMsgs {
+			t.Fatalf("owner %d shard messages %d != control+data %d", i, sh.Messages, sh.ControlMsgs+sh.DataMsgs)
+		}
+		net.AddShard(&eps[i].Stats)
+	}
+	st := net.Stats
+	if st.ControlMsgs != wantCtl || st.DataMsgs != wantData {
+		t.Fatalf("folded totals = %+v, want %d control %d data", st, wantCtl, wantData)
+	}
+	if st.Messages != wantCtl+wantData {
+		t.Fatalf("folded messages = %d, want %d", st.Messages, wantCtl+wantData)
+	}
+	if want := wantCtl*network.ControlFlits + wantData*network.DataFlits; st.Flits != want {
+		t.Fatalf("folded flits = %d, want %d", st.Flits, want)
+	}
+}
+
+// TestEndpointJitterInOrderClamp pins the Jitter contract on the
+// endpoint path: a jittered message holds up everything sent after it
+// (the lastDelivery clamp models backpressure — the coherence protocol
+// needs point-to-point order), so a later un-jittered send may not
+// overtake it. Jitter only exists under fault injection, which forces
+// the engine serial; the endpoints here are therefore driven from
+// serial context, matching the only legal configuration.
+func TestEndpointJitterInOrderClamp(t *testing.T) {
+	var eng sim.Engine
+	const linkLatency = 1
+	net := network.New(&eng, linkLatency)
+	jitters := []uint64{20, 0} // first send stalled, second nominally fast
+	net.Jitter = func() uint64 {
+		j := jitters[0]
+		jitters = jitters[1:]
+		return j
+	}
+	ep := net.NewEndpoint(eng.NewSched(sim.DomainSerial))
+
+	var log []uint64
+	a := &arrival{eng: &eng, log: &log}
+	first := linkLatency + uint64(network.ControlFlits) + 20
+	ep.SendControlMsg(sim.DomainSerial, a) // delivers at first
+	ep.SendControlMsg(sim.DomainSerial, a) // would deliver at 2 unclamped
+	if _, err := eng.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(log) != 2 {
+		t.Fatalf("got %d deliveries, want 2", len(log))
+	}
+	if log[0] != first {
+		t.Fatalf("jittered message delivered at %d, want %d", log[0], first)
+	}
+	if log[1] < log[0] {
+		t.Fatalf("later send overtook earlier: delivered at %d before %d", log[1], log[0])
+	}
+	if log[1] != first {
+		t.Fatalf("clamped message delivered at %d, want clamp to %d", log[1], first)
+	}
+}
+
+// TestEndpointDeliversIntoTargetDomain checks the destination-domain
+// routing under the parallel engine: a payload sent into a domain runs
+// as that domain's event (observable through the wave accounting — a
+// non-serial delivery joins a wave instead of forcing a serial frame),
+// and a DomainSerial delivery is counted against the serial residue.
+func TestEndpointDeliversIntoTargetDomain(t *testing.T) {
+	var eng sim.Engine
+	eng.SetWorkers(2)
+	net := network.New(&eng, 1)
+	ep := net.NewEndpoint(eng.NewSched(sim.Domain(1)))
+	// The destination domain's owner registers its handle at build time
+	// (domains are sized before Run); the endpoint then only names it.
+	eng.NewSched(sim.Domain(2))
+
+	var log []uint64
+	a := &arrival{eng: &eng, log: &log}
+	ep.SendControlMsg(sim.Domain(2), a)    // cross-domain delivery
+	ep.SendControlMsg(sim.DomainSerial, a) // serial delivery
+	if _, err := eng.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	events, waves, serial := eng.WaveStats()
+	if events != 2 || waves == 0 {
+		t.Fatalf("WaveStats events=%d waves=%d, want 2 events in >=1 wave", events, waves)
+	}
+	if serial != 1 {
+		t.Fatalf("WaveStats serial=%d, want exactly the DomainSerial delivery", serial)
+	}
+}

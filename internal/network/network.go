@@ -102,13 +102,20 @@ func (n *Network) delayInto(st *Stats, flits uint64) uint64 {
 	return delay
 }
 
-// Endpoint is one node's private interface to the crossbar: it owns a
-// Stats shard and the node's scheduling handle, so concurrently
-// executing node domains can send without sharing counters or touching
-// the engine directly. The caller names the delivery's target domain
-// (DomainSerial for anything handled at the directory, the node's own
-// domain for messages coming back to the core). Fold the shards into
-// the Network's totals with AddShard after the run.
+// Endpoint is one owner's private interface to the crossbar: it owns a
+// Stats shard and the owner's scheduling handle, so concurrently
+// executing domains can send without sharing counters or touching the
+// engine directly. Sends name the destination's domain: core→directory
+// messages (requests, unblocks, writeback data, probe replies returning
+// to their flow) target the owning bank's domain, directory→core
+// deliveries (responses, probes) target the core's own domain, and
+// DomainSerial is reserved for the few flows that must still observe
+// global order (the begin flow's timestamp draw, eviction writebacks in
+// their cancellation window). An Endpoint may only be used from its own
+// domain's executing context or from serial execution; the payload then
+// runs as an ordinary event of the destination domain, joining its wave
+// instead of forcing a serial frame. Fold the shards into the Network's
+// totals with AddShard after the run.
 type Endpoint struct {
 	net   *Network
 	sched sim.Sched

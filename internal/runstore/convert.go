@@ -83,6 +83,17 @@ func (r *Record) StampDirBanks(banks int) {
 	r.DirBanks = banks
 }
 
+// StampWaves records the producing run's parallel-coverage counters
+// (machine.WaveStats / chats.WaveInfo): total fired events, waves, and
+// serial-domain events. Scheduling structure, not simulation results —
+// stored for the dashboard's wave-width drill-down, never compared by
+// the equivalence oracles.
+func (r *Record) StampWaves(events, waves, serial uint64) {
+	r.WaveEvents = events
+	r.Waves = waves
+	r.SerialEvents = serial
+}
+
 // byCause names the non-zero abort causes (cause 0 is "none").
 func byCause(st machine.RunStats) map[string]uint64 {
 	var m map[string]uint64

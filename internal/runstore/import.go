@@ -19,10 +19,13 @@ type benchDoc struct {
 	Workers      int    `json:"workers"`
 	Size         string `json:"size"`
 	Cells        []struct {
-		Cell        string `json:"cell"`
-		SimCycles   uint64 `json:"simcycles"`
-		WallclockNS int64  `json:"wallclock_ns"`
-		Allocs      uint64 `json:"allocs"`
+		Cell         string `json:"cell"`
+		SimCycles    uint64 `json:"simcycles"`
+		WallclockNS  int64  `json:"wallclock_ns"`
+		Allocs       uint64 `json:"allocs"`
+		WaveEvents   uint64 `json:"wave_events"`
+		Waves        uint64 `json:"waves"`
+		SerialEvents uint64 `json:"serial_events"`
 	} `json:"cells"`
 }
 
@@ -52,15 +55,18 @@ func (s *Store) ImportBench(path string) (int, error) {
 	for _, c := range doc.Cells {
 		system, workload, config := splitCell(c.Cell)
 		r := Record{
-			Meta:        meta,
-			System:      system,
-			Workload:    workload,
-			Config:      config,
-			Size:        doc.Size,
-			Source:      source,
-			SimCycles:   c.SimCycles,
-			WallclockNS: c.WallclockNS,
-			Allocs:      c.Allocs,
+			Meta:         meta,
+			System:       system,
+			Workload:     workload,
+			Config:       config,
+			Size:         doc.Size,
+			Source:       source,
+			SimCycles:    c.SimCycles,
+			WallclockNS:  c.WallclockNS,
+			Allocs:       c.Allocs,
+			WaveEvents:   c.WaveEvents,
+			Waves:        c.Waves,
+			SerialEvents: c.SerialEvents,
 		}
 		if _, err := s.Append(r); err != nil {
 			return n, err

@@ -104,6 +104,17 @@ type Record struct {
 	// on records from before the sharded directory (equivalent to 1).
 	DirBanks int `json:"dir_banks,omitempty"`
 
+	// WaveEvents/Waves/SerialEvents are the engine's parallel-coverage
+	// counters: fired events, the same-cycle distinct-domain waves they
+	// formed, and the subset that ran on DomainSerial (full barriers).
+	// wave_events/waves is the average parallel batch width the
+	// dashboard's wave-width panel plots; serial_events/wave_events the
+	// residual barrier fraction. Zero on records from before the wave
+	// counters were stamped.
+	WaveEvents   uint64 `json:"wave_events,omitempty"`
+	Waves        uint64 `json:"waves,omitempty"`
+	SerialEvents uint64 `json:"serial_events,omitempty"`
+
 	SimCycles   uint64 `json:"simcycles"`
 	WallclockNS int64  `json:"wallclock_ns"`
 	Allocs      uint64 `json:"allocs"`

@@ -585,6 +585,30 @@ func (e *Engine) runBatch(frame []*Event, k, j int) int {
 		return -1
 	}
 
+	// Rebalance event reuse across domains before dispatch. Routing
+	// deliveries into destination domains makes some domains net
+	// producers of free events (a bank fires a request and an unblock
+	// but stages only the response) and others net consumers (a core
+	// fires one response and stages the next request plus its unblock),
+	// so the private free lists alone would drain on the consumer side
+	// and allocate every staged event. The coordinator is the only
+	// context that may touch the global list; top each group up to its
+	// expected staging demand here, and let the per-domain refill
+	// overflow drain back to the global list after the merge.
+	for _, g := range p.groups {
+		ds := &p.doms[g]
+		want := 2 * len(ds.events)
+		if want > domFreeCap {
+			want = domFreeCap
+		}
+		for len(ds.free) < want && len(e.free) > 0 {
+			n := len(e.free) - 1
+			ds.free = append(ds.free, e.free[n])
+			e.free[n] = nil
+			e.free = e.free[:n]
+		}
+	}
+
 	// Pool dispatch. Opening the batch is a handful of atomics: reset
 	// the claim cursor, bump the epoch to odd (the store publishes the
 	// groups laid out above), unpark workers if the throttle allows, and

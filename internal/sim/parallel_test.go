@@ -254,3 +254,145 @@ func TestSerialModeStartsNoGoroutines(t *testing.T) {
 		t.Fatal("event did not run")
 	}
 }
+
+// ---------- delivery-merge oracle ----------
+//
+// The barrier-free delivery refactor routes directory→core and
+// core→directory messages into their destination's domain, so the
+// staged-merge discipline now carries deliveries, not just node-local
+// work. The tests below pin the two shapes that matter: same-cycle
+// deliveries from several source domains converging on one destination
+// domain, and counterflowing hops (core→bank and bank→core) fired from
+// the same wave.
+
+// dmDelivery is one staged cross-domain message: it appends its tag to
+// the destination's log when it runs there.
+type dmDelivery struct {
+	log *[]uint64
+	now func() uint64
+	tag uint64
+}
+
+func (d *dmDelivery) Run() { *d.log = append(*d.log, d.now()<<16|d.tag) }
+
+// dmSender fires in a source domain and schedules deliveries into a
+// destination domain, mimicking a dirBank answering cores (or a core
+// messaging its bank).
+type dmSender struct {
+	sched   Sched
+	dest    Domain
+	log     *[]uint64
+	tagBase uint64
+	sends   []uint64 // delivery delays
+}
+
+func (s *dmSender) Run() {
+	for i, delay := range s.sends {
+		s.sched.ScheduleRunnerIn(s.dest, delay,
+			&dmDelivery{log: s.log, now: s.sched.Now, tag: s.tagBase + uint64(i)})
+	}
+}
+
+// runConverge schedules, for a handful of cycles, one sender in each of
+// two "bank" domains targeting the same "core" domain with overlapping
+// delays, and returns the core's delivery log.
+func runConverge(t *testing.T, workers int) []uint64 {
+	t.Helper()
+	var eng Engine
+	eng.SetWorkers(workers)
+	core := eng.NewSched(1)
+	bankA := eng.NewSched(2)
+	bankB := eng.NewSched(3)
+	_ = core
+
+	var coreLog []uint64
+	for c := uint64(0); c < 8; c++ {
+		// Same cycle, both banks, colliding delivery delays: the merge
+		// must order the staged deliveries by (parent frame position,
+		// per-parent order), never by worker timing.
+		bankA.ScheduleRunnerIn(bankA.Domain(), c, &dmSender{
+			sched: bankA, dest: 1, log: &coreLog,
+			tagBase: 100 * (c + 1), sends: []uint64{2, 1, 2},
+		})
+		bankB.ScheduleRunnerIn(bankB.Domain(), c, &dmSender{
+			sched: bankB, dest: 1, log: &coreLog,
+			tagBase: 100*(c+1) + 50, sends: []uint64{1, 2, 1},
+		})
+	}
+	if _, err := eng.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	return coreLog
+}
+
+// TestParallelDeliveryConvergeDeterministic pins the first shape:
+// same-cycle deliveries from two bank domains into one core domain
+// arrive in an order that is bit-identical at any worker count.
+func TestParallelDeliveryConvergeDeterministic(t *testing.T) {
+	ref := runConverge(t, 1)
+	if len(ref) == 0 {
+		t.Fatal("no deliveries recorded")
+	}
+	for _, workers := range []int{2, 4, 8} {
+		got := runConverge(t, workers)
+		if fmt.Sprint(got) != fmt.Sprint(ref) {
+			t.Errorf("workers=%d: delivery order diverged\nserial:   %v\nparallel: %v",
+				workers, ref, got)
+		}
+	}
+}
+
+// runCounterflow fires a core-domain sender and a bank-domain sender in
+// the same cycle — the same wave under the parallel engine — each
+// delivering into the other's domain, and returns both logs plus the
+// engine's wave accounting.
+func runCounterflow(t *testing.T, workers int) (coreLog, bankLog []uint64, events, waves, serial uint64) {
+	t.Helper()
+	var eng Engine
+	eng.SetWorkers(workers)
+	core := eng.NewSched(1)
+	bank := eng.NewSched(2)
+
+	for c := uint64(0); c < 6; c++ {
+		core.ScheduleRunnerIn(core.Domain(), c, &dmSender{
+			sched: core, dest: bank.Domain(), log: &bankLog,
+			tagBase: 10 * (c + 1), sends: []uint64{1, 3},
+		})
+		bank.ScheduleRunnerIn(bank.Domain(), c, &dmSender{
+			sched: bank, dest: core.Domain(), log: &coreLog,
+			tagBase: 10*(c+1) + 5, sends: []uint64{3, 1},
+		})
+	}
+	if _, err := eng.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	events, waves, serial = eng.WaveStats()
+	return
+}
+
+// TestParallelDeliveryCounterflowSameWave pins the second shape:
+// core→bank and bank→core hops issued from the same wave land
+// deterministically on both sides, none of it needs a serial frame, and
+// the wave accounting shows the two domains actually batched together.
+func TestParallelDeliveryCounterflowSameWave(t *testing.T) {
+	refCore, refBank, refEvents, refWaves, refSerial := runCounterflow(t, 1)
+	if len(refCore) == 0 || len(refBank) == 0 {
+		t.Fatal("no deliveries recorded")
+	}
+	if refSerial != 0 {
+		t.Fatalf("counterflow traffic recorded %d serial events, want 0", refSerial)
+	}
+	if refWaves >= refEvents {
+		t.Fatalf("events=%d waves=%d: same-cycle cross-domain work never batched", refEvents, refWaves)
+	}
+	for _, workers := range []int{2, 8} {
+		core, bank, events, waves, serial := runCounterflow(t, workers)
+		if fmt.Sprint(core) != fmt.Sprint(refCore) || fmt.Sprint(bank) != fmt.Sprint(refBank) {
+			t.Errorf("workers=%d: logs diverged from serial", workers)
+		}
+		if events != refEvents || waves != refWaves || serial != refSerial {
+			t.Errorf("workers=%d: WaveStats (%d,%d,%d), want (%d,%d,%d)",
+				workers, events, waves, serial, refEvents, refWaves, refSerial)
+		}
+	}
+}

@@ -18,6 +18,7 @@ package sim
 type waveStat struct {
 	events uint64
 	waves  uint64
+	serial uint64
 	cycle  uint64
 	open   bool
 	seen   []uint64 // bitset over domains in the open wave
@@ -33,6 +34,7 @@ func (w *waveStat) note(dom Domain, cycle uint64) {
 	if dom == DomainSerial {
 		w.open = false
 		w.waves++
+		w.serial++
 		return
 	}
 	wi, bit := int(dom)>>6, uint64(1)<<(uint(dom)&63)
@@ -50,9 +52,14 @@ func (w *waveStat) note(dom Domain, cycle uint64) {
 }
 
 // WaveStats returns the parallel-coverage counters: total events fed to
-// the wave automaton and the number of waves they formed. The ratio
+// the wave automaton, the number of waves they formed, and how many of
+// those events ran on DomainSerial (each one a full barrier). The ratio
 // events/waves is the average same-cycle segment length the parallel
-// executor can exploit (1.0 = fully serialized).
-func (e *Engine) WaveStats() (events, waves uint64) {
-	return e.waves.events, e.waves.waves
+// executor can exploit (1.0 = fully serialized); serial/events is the
+// serial-event fraction — the share of fired events that still split
+// the frame. After the delivery-routing work the remaining serial
+// events are begin-flow commit-order bookkeeping and the eviction
+// writeback cancellation window (see machine's pendingWB).
+func (e *Engine) WaveStats() (events, waves, serial uint64) {
+	return e.waves.events, e.waves.waves, e.waves.serial
 }
